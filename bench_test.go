@@ -1,0 +1,205 @@
+// Benchmarks regenerating every experiment in DESIGN.md's index (E1–E10).
+// Each benchmark runs its experiment's workload and reports the measured
+// work (and where meaningful, messages) as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the paper's evaluation shape:
+//
+//   - E1/E2: work forced by the lower-bound adversaries vs the Ω formula
+//   - E3/E4: contention and d-contention vs their analytic bounds
+//   - E5–E7: DA and PA work growth in d vs their O(·) curves
+//   - E8:    the p·t wall at d = Ω(t)
+//   - E9:    message complexity ceilings
+//   - E10:   DA vs PA crossover
+//
+// Absolute ns/op numbers are simulator speed, not the paper's testbed;
+// the work/messages metrics are the reproduction targets.
+package doall_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"doall"
+	"doall/internal/adversary"
+	"doall/internal/bounds"
+	"doall/internal/harness"
+	"doall/internal/perm"
+	"doall/internal/sim"
+)
+
+// benchSpec runs one harness spec b.N times, reporting work and messages.
+func benchSpec(b *testing.B, spec harness.Spec) {
+	b.Helper()
+	var work, msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Execute(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work = res.Work
+		msgs = res.Messages
+	}
+	b.ReportMetric(float64(work), "work")
+	b.ReportMetric(float64(msgs), "messages")
+}
+
+// E1: deterministic lower bound (Theorem 3.1). Forced work of DA under
+// the off-line stage adversary, against the Ω formula.
+func BenchmarkE1LowerBoundDet(b *testing.B) {
+	const p, t, d = 8, 512, 8
+	var work int64
+	for i := 0; i < b.N; i++ {
+		ms, err := harness.BuildMachines(harness.Spec{Algo: harness.AlgoDA, P: p, T: t, D: d, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := adversary.NewStageDeterministic(d, t)
+		res, err := sim.Run(sim.Config{P: p, T: t}, ms, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work = res.Work
+	}
+	b.ReportMetric(float64(work), "forced-work")
+	b.ReportMetric(bounds.LowerBound(p, t, d), "omega-bound")
+}
+
+// E2: randomized lower bound (Theorem 3.4). Forced work of PaRan2 under
+// the adaptive intent-observing adversary.
+func BenchmarkE2LowerBoundRand(b *testing.B) {
+	const p, t, d = 8, 512, 8
+	var work int64
+	for i := 0; i < b.N; i++ {
+		ms := doall.NewPaRan2(p, t, int64(i))
+		adv := adversary.NewStageOnline(d, t)
+		res, err := sim.Run(sim.Config{P: p, T: t}, ms, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work = res.Work
+	}
+	b.ReportMetric(float64(work), "forced-work")
+	b.ReportMetric(bounds.LowerBound(p, t, d), "omega-bound")
+}
+
+// E3: contention of searched schedule lists (Lemma 4.1) and ObliDo's
+// primary executions (Lemma 4.2).
+func BenchmarkE3Contention(b *testing.B) {
+	const n = 5
+	var cont int
+	var primary int64
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(3))
+		res := perm.FindLowContentionList(n, n, 100, r)
+		cont = res.Cont
+		ms := doall.NewObliDo(n, n, res.List)
+		rr, err := sim.Run(sim.Config{P: n, T: n}, ms, adversary.NewFair(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		primary = rr.PrimaryExecutions
+	}
+	b.ReportMetric(float64(cont), "Cont")
+	b.ReportMetric(float64(perm.HarmonicBound(n)), "3nHn-bound")
+	b.ReportMetric(float64(primary), "primary-execs")
+}
+
+// E4: d-contention of random schedule lists vs the Theorem 4.4 bound.
+func BenchmarkE4DContention(b *testing.B) {
+	const n, p, d = 128, 8, 4
+	var est int
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(4))
+		l := perm.RandomList(p, n, r)
+		est = perm.DContEstimate(l, d, 30, r)
+	}
+	b.ReportMetric(float64(est), "dcont-estimate")
+	b.ReportMetric(perm.DContBound(n, p, d), "thm44-bound")
+}
+
+// E5: DA(q) work vs delay (Theorem 5.5) at a representative point of the
+// sweep; the full sweep is cmd/experiments -only E5.
+func BenchmarkE5DAWork(b *testing.B) {
+	benchSpec(b, harness.Spec{Algo: harness.AlgoDA, P: 8, T: 256, Q: 2, D: 4, Seed: 5})
+}
+
+// E5 ablation: arity q = 4 at the same point.
+func BenchmarkE5DAWorkQ4(b *testing.B) {
+	benchSpec(b, harness.Spec{Algo: harness.AlgoDA, P: 8, T: 256, Q: 4, D: 4, Seed: 5})
+}
+
+// E6: PaRan1 work vs delay (Theorem 6.2/Corollary 6.4).
+func BenchmarkE6PaRanWork(b *testing.B) {
+	benchSpec(b, harness.Spec{Algo: harness.AlgoPaRan1, P: 8, T: 256, D: 4, Seed: 6})
+}
+
+// E6 variant: PaRan2 (same expected work, fewer random bits).
+func BenchmarkE6PaRan2Work(b *testing.B) {
+	benchSpec(b, harness.Spec{Algo: harness.AlgoPaRan2, P: 8, T: 256, D: 4, Seed: 6})
+}
+
+// E7: PaDet work with a searched low-d-contention list (Theorem 6.3).
+func BenchmarkE7PaDetWork(b *testing.B) {
+	benchSpec(b, harness.Spec{Algo: harness.AlgoPaDet, P: 8, T: 256, D: 4, Seed: 7})
+}
+
+// E8: the quadratic wall at d = Ω(t) (Proposition 2.2).
+func BenchmarkE8LargeDelay(b *testing.B) {
+	benchSpec(b, harness.Spec{Algo: harness.AlgoDA, P: 8, T: 128, D: 256, Seed: 8})
+}
+
+// E8 baseline: the oblivious algorithm at the same point.
+func BenchmarkE8Oblivious(b *testing.B) {
+	benchSpec(b, harness.Spec{Algo: harness.AlgoAllToAll, P: 8, T: 128, D: 256, Seed: 8})
+}
+
+// E9: message complexity (Theorem 5.6: M = O(p·W)).
+func BenchmarkE9Messages(b *testing.B) {
+	benchSpec(b, harness.Spec{Algo: harness.AlgoDA, P: 8, T: 256, Q: 2, D: 4, Seed: 9})
+}
+
+// E10: DA vs PaDet crossover point (Section 1.2 discussion).
+func BenchmarkE10Crossover(b *testing.B) {
+	var wDA, wPA int64
+	for i := 0; i < b.N; i++ {
+		da, err := harness.Execute(harness.Spec{Algo: harness.AlgoDA, P: 8, T: 512, D: 8, Seed: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pa, err := harness.Execute(harness.Spec{Algo: harness.AlgoPaDet, P: 8, T: 512, D: 8, Seed: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wDA, wPA = da.Work, pa.Work
+	}
+	b.ReportMetric(float64(wDA), "work-DA")
+	b.ReportMetric(float64(wPA), "work-PaDet")
+}
+
+// Substrate microbenchmarks: simulator step throughput and the
+// permutation toolkit, so regressions in the engine are visible
+// independently of algorithm behavior.
+
+func BenchmarkSimulatorSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ms := doall.NewPaRan1(16, 512, 1)
+		if _, err := sim.Run(sim.Config{P: 16, T: 512}, ms, adversary.NewFair(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDLRM(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p := perm.Random(1024, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perm.DLRM(p, 16)
+	}
+}
+
+func BenchmarkContentionSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		perm.FindLowContentionList(5, 5, 20, r)
+	}
+}

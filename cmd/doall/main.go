@@ -1,0 +1,86 @@
+// Command doall runs one Do-All algorithm on one problem instance under a
+// chosen d-adversary in the deterministic simulator and prints the
+// measured work, message, and time complexity next to the paper's bounds.
+//
+// Usage:
+//
+//	doall -algo DA -p 16 -t 1024 -d 8 -q 2 -adversary fair
+//	doall -algo PaRan1 -p 8 -t 256 -d 4 -trials 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"doall/internal/bounds"
+	"doall/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "doall:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algo      = flag.String("algo", "DA", "algorithm: AllToAll, ObliDo, DA, PaRan1, PaRan2, PaDet")
+		p         = flag.Int("p", 8, "number of processors")
+		t         = flag.Int("t", 64, "number of tasks")
+		d         = flag.Int64("d", 1, "message delay bound d")
+		q         = flag.Int("q", 2, "progress-tree arity (DA only)")
+		adv       = flag.String("adversary", "fair", "adversary: fair, random, stage-det, stage-online")
+		seed      = flag.Int64("seed", 1, "random seed")
+		trials    = flag.Int("trials", 1, "trials to average over (varies the seed)")
+		restarts  = flag.Int("restarts", 32, "permutation-search restarts")
+	)
+	flag.Parse()
+
+	spec := harness.Spec{
+		Algo:           harness.Algo(*algo),
+		P:              *p,
+		T:              *t,
+		Q:              *q,
+		D:              *d,
+		Adversary:      harness.Adv(*adv),
+		Seed:           *seed,
+		SearchRestarts: *restarts,
+	}
+
+	if *trials <= 1 {
+		res, err := harness.Execute(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("algorithm   %s  (p=%d t=%d d=%d adversary=%s)\n", *algo, *p, *t, *d, *adv)
+		fmt.Printf("work        %d\n", res.Work)
+		fmt.Printf("messages    %d\n", res.Messages)
+		fmt.Printf("time        %d\n", res.SolvedAt)
+		fmt.Printf("executions  %d (primary %d, secondary %d)\n",
+			res.TaskExecutions, res.PrimaryExecutions, res.SecondaryExecutions)
+		printBounds(*p, *t, int(*d), float64(res.Work))
+		return nil
+	}
+
+	avg, err := harness.ExecuteAvg(spec, *trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm   %s  (p=%d t=%d d=%d adversary=%s, %d trials)\n", *algo, *p, *t, *d, *adv, *trials)
+	fmt.Printf("E[work]     %.1f\n", avg.Work)
+	fmt.Printf("E[messages] %.1f\n", avg.Messages)
+	fmt.Printf("E[time]     %.1f\n", avg.Time)
+	printBounds(*p, *t, int(*d), avg.Work)
+	return nil
+}
+
+func printBounds(p, t, d int, work float64) {
+	fmt.Printf("---- theory (constants suppressed) ----\n")
+	fmt.Printf("lower bound Ω   %.0f\n", bounds.LowerBound(p, t, d))
+	fmt.Printf("DA bound (ε=.5) %.0f\n", bounds.DAUpperBound(p, t, d, 0.5))
+	fmt.Printf("PA bound        %.0f\n", bounds.PAUpperBound(p, t, d))
+	fmt.Printf("oblivious p·t   %.0f\n", bounds.ObliviousWork(p, t))
+	fmt.Printf("work/oblivious  %.3f\n", work/bounds.ObliviousWork(p, t))
+}

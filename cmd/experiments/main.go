@@ -1,0 +1,68 @@
+// Command experiments regenerates every experiment in DESIGN.md's index
+// (E1–E10) and prints the result tables, optionally as Markdown for
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                  # quick scale, plain text
+//	experiments -scale full      # the sizes used in EXPERIMENTS.md
+//	experiments -markdown        # Markdown output
+//	experiments -only E5,E6      # subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"doall/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale    = flag.String("scale", "quick", "experiment scale: quick or full")
+		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
+		only     = flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	)
+	flag.Parse()
+
+	sc := harness.Quick
+	switch *scale {
+	case "quick":
+	case "full":
+		sc = harness.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	tables, err := harness.AllExperiments(sc)
+	if err != nil {
+		return err
+	}
+	for _, tb := range tables {
+		if len(want) > 0 && !want[tb.ID] {
+			continue
+		}
+		if *markdown {
+			fmt.Println(tb.Markdown())
+		} else {
+			fmt.Println(tb.String())
+		}
+	}
+	return nil
+}

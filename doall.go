@@ -1,0 +1,195 @@
+// Package doall is a Go implementation of the message-delay-sensitive
+// Do-All algorithms of Kowalski and Shvartsman ("Performing work with
+// asynchronous processors: message-delay-sensitive bounds", PODC 2003;
+// full version in Information and Computation 203 (2005) 181–210).
+//
+// The Do-All problem: given t similar, idempotent tasks, perform them all
+// using p asynchronous message-passing processors, tolerating arbitrary
+// delays and any number of crashes short of all p. Work is charged for
+// every local step of every live processor until all tasks are done and
+// some processor knows it; a broadcast to m recipients costs m messages.
+//
+// The package exposes:
+//
+//   - The algorithms as step machines: the oblivious baselines
+//     (NewAllToAll, NewObliDo), the deterministic progress-tree family
+//     DA(q) (NewDA), and the permutation family PA (NewPaRan1, NewPaRan2,
+//     NewPaDet). All run unchanged under both execution substrates.
+//   - A deterministic simulator (Simulate) in which an Adversary controls
+//     processor speeds, crashes, and message delays up to an unknown bound
+//     d — the model in which the paper's bounds are stated.
+//   - A goroutine runtime (Execute) that runs the same machines on real
+//     concurrency with user task bodies.
+//   - The combinatorial toolkit of Section 4 (contention of permutation
+//     schedules) and closed-form bound evaluators for comparing measured
+//     work against theory.
+//
+// A minimal use:
+//
+//	perms := doall.FindSchedules(2, 100, 42)       // q=2 schedule list
+//	ms, _ := doall.NewDA(doall.DAConfig{P: 8, T: 64, Q: 2, Perms: perms})
+//	res, _ := doall.Simulate(doall.SimConfig{P: 8, T: 64}, ms, doall.NewFairAdversary(4))
+//	fmt.Println(res.Work, res.Messages)
+package doall
+
+import (
+	"math/rand"
+	"time"
+
+	"doall/internal/adversary"
+	"doall/internal/bounds"
+	"doall/internal/core"
+	"doall/internal/perm"
+	rt "doall/internal/runtime"
+	"doall/internal/sim"
+)
+
+// Core model types, aliased from the simulator so user code and internal
+// packages interoperate directly.
+type (
+	// Machine is one processor's algorithm state; Step is called once per
+	// local step with the messages delivered since the previous step.
+	Machine = sim.Machine
+	// Message is a point-to-point message.
+	Message = sim.Message
+	// StepResult reports what one local step performed, broadcast, and
+	// whether the processor voluntarily halted.
+	StepResult = sim.StepResult
+	// Adversary controls asynchrony in the simulator: per-unit scheduling,
+	// crashes, and per-message delays up to its bound D().
+	Adversary = sim.Adversary
+	// Result carries the measured complexities of a simulated execution.
+	Result = sim.Result
+	// SimConfig configures Simulate.
+	SimConfig = sim.Config
+	// Perm is a permutation of {0,…,n-1} used as a task schedule.
+	Perm = perm.Perm
+	// Schedules is an ordered list of permutations (the paper's Σ).
+	Schedules = perm.List
+	// DAConfig parameterizes the DA(q) family.
+	DAConfig = core.DAConfig
+	// RunConfig configures the goroutine runtime.
+	RunConfig = rt.Config
+	// RunReport is the goroutine runtime's execution summary.
+	RunReport = rt.Report
+)
+
+// Simulate runs machines under the adversary in the deterministic
+// simulator and returns exact work/message/time measurements
+// (Definitions 2.1–2.2 of the paper).
+func Simulate(cfg SimConfig, machines []Machine, adv Adversary) (*Result, error) {
+	return sim.Run(cfg, machines, adv)
+}
+
+// Execute runs machines on real goroutines with delayed channels; cfg.Task
+// is invoked for every performed task id.
+func Execute(cfg RunConfig, machines []Machine) (*RunReport, error) {
+	return rt.Run(cfg, machines)
+}
+
+// NewAllToAll builds the oblivious baseline: every processor performs
+// every task; work Θ(p·t), zero messages.
+func NewAllToAll(p, t int) []Machine { return core.NewAllToAll(p, t) }
+
+// NewObliDo builds the Fig. 2 oblivious scheduler over the schedule list.
+func NewObliDo(p, t int, schedules Schedules) []Machine { return core.NewObliDo(p, t, schedules) }
+
+// NewDA builds the deterministic progress-tree algorithm DA(q); work
+// O(t·p^ε + p·min{t,d}·⌈t/d⌉^ε) for suitable q and schedules.
+func NewDA(cfg DAConfig) ([]Machine, error) { return core.NewDA(cfg) }
+
+// NewPaRan1 builds the randomized permutation algorithm that draws one
+// random schedule per processor at start-up; expected work
+// O(t·log p + p·d·log(2+t/d)).
+func NewPaRan1(p, t int, seed int64) []Machine { return core.NewPaRan1(p, t, seed) }
+
+// NewPaRan2 builds the randomized permutation algorithm that draws each
+// next task uniformly among those not known done; same expected work as
+// PaRan1 with far fewer random bits.
+func NewPaRan2(p, t int, seed int64) []Machine { return core.NewPaRan2(p, t, seed) }
+
+// NewPaDet builds the deterministic permutation algorithm over a fixed
+// schedule list with low d-contention (Corollary 4.5).
+func NewPaDet(p, t int, schedules Schedules) ([]Machine, error) {
+	return core.NewPaDet(p, t, schedules)
+}
+
+// NewFairAdversary returns the benign d-adversary: full processor speed,
+// every message delayed exactly d.
+func NewFairAdversary(d int64) Adversary { return adversary.NewFair(d) }
+
+// NewRandomAdversary returns a d-adversary with random processor activity
+// and uniform delays in [1, d].
+func NewRandomAdversary(d int64, activity float64, seed int64) Adversary {
+	return adversary.NewRandom(d, activity, seed)
+}
+
+// NewCrashingAdversary wraps another adversary with scheduled crash
+// failures; it never crashes the last live processor.
+func NewCrashingAdversary(inner Adversary, events []CrashEvent) Adversary {
+	ev := make([]adversary.CrashEvent, len(events))
+	for i, e := range events {
+		ev[i] = adversary.CrashEvent{Pid: e.Pid, At: e.At}
+	}
+	return adversary.NewCrashing(inner, ev)
+}
+
+// CrashEvent schedules processor Pid to crash at simulated time At.
+type CrashEvent struct {
+	Pid int
+	At  int64
+}
+
+// NewLowerBoundAdversaryDet returns the Theorem 3.1 off-line adversary
+// that forces Ω(t + p·min{d,t}·log_{d+1}(d+t)) work out of deterministic
+// algorithms (machines must support cloning).
+func NewLowerBoundAdversaryDet(d int64, t int) Adversary {
+	return adversary.NewStageDeterministic(d, t)
+}
+
+// NewLowerBoundAdversaryRand returns the Theorem 3.4 adaptive adversary
+// that forces the same expected work out of randomized algorithms.
+func NewLowerBoundAdversaryRand(d int64, t int) Adversary {
+	return adversary.NewStageOnline(d, t)
+}
+
+// FindSchedules searches for a list of k low-contention permutations of
+// {0,…,n-1} (Lemma 4.1) usable with NewDA (k = n = q) and NewObliDo.
+func FindSchedules(n, restarts int, seed int64) Schedules {
+	r := rand.New(rand.NewSource(seed))
+	return perm.FindLowContentionList(n, n, restarts, r).List
+}
+
+// FindDelaySchedules searches for a list of k permutations of {0,…,n-1}
+// with low d-contention (Corollary 4.5) usable with NewPaDet; n should be
+// the number of jobs, min(p, t).
+func FindDelaySchedules(k, n, d, restarts int, seed int64) Schedules {
+	r := rand.New(rand.NewSource(seed))
+	return perm.FindLowDContentionList(k, n, d, restarts, r).List
+}
+
+// Contention returns the exact contention Cont(Σ) of a schedule list
+// (exponential in the permutation length; intended for small n).
+func Contention(s Schedules) int { return perm.Cont(s) }
+
+// DContention returns the exact d-contention (d)-Cont(Σ) of a schedule
+// list (exponential in the permutation length).
+func DContention(s Schedules, d int) int { return perm.DCont(s, d) }
+
+// LowerBound evaluates the Ω(t + p·min{d,t}·log_{d+1}(d+t)) delay-
+// sensitive lower bound of Theorems 3.1/3.4 (constants suppressed).
+func LowerBound(p, t, d int) float64 { return bounds.LowerBound(p, t, d) }
+
+// DAUpperBound evaluates the O(t·p^ε + p·min{t,d}·⌈t/d⌉^ε) work bound of
+// Theorem 5.5 (constants suppressed).
+func DAUpperBound(p, t, d int, eps float64) float64 { return bounds.DAUpperBound(p, t, d, eps) }
+
+// PAUpperBound evaluates the O(t·log p + p·min{t,d}·log(2+t/d)) work
+// bound of Theorems 6.2/6.3 (constants suppressed).
+func PAUpperBound(p, t, d int) float64 { return bounds.PAUpperBound(p, t, d) }
+
+// DefaultRunConfig returns a RunConfig with sensible pacing for the
+// goroutine runtime.
+func DefaultRunConfig(p, t, d int) RunConfig {
+	return RunConfig{P: p, T: t, D: d, Unit: 200 * time.Microsecond, Timeout: 30 * time.Second}
+}

@@ -1,0 +1,120 @@
+package doall_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doall"
+)
+
+func TestPublicAPISimulateDA(t *testing.T) {
+	perms := doall.FindSchedules(2, 50, 1)
+	ms, err := doall.NewDA(doall.DAConfig{P: 4, T: 32, Q: 2, Perms: perms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := doall.Simulate(doall.SimConfig{P: 4, T: 32}, ms, doall.NewFairAdversary(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("not solved")
+	}
+	if res.Work >= 4*32 {
+		t.Fatalf("work %d not subquadratic at d=2", res.Work)
+	}
+}
+
+func TestPublicAPIPaFamily(t *testing.T) {
+	for name, ms := range map[string][]doall.Machine{
+		"PaRan1": doall.NewPaRan1(4, 16, 3),
+		"PaRan2": doall.NewPaRan2(4, 16, 3),
+	} {
+		res, err := doall.Simulate(doall.SimConfig{P: 4, T: 16}, ms, doall.NewFairAdversary(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Solved {
+			t.Fatalf("%s: not solved", name)
+		}
+	}
+
+	sched := doall.FindDelaySchedules(4, 4, 2, 20, 4) // n = min(p,t) jobs
+	ms, err := doall.NewPaDet(4, 16, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doall.Simulate(doall.SimConfig{P: 4, T: 16}, ms, doall.NewFairAdversary(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPICrashes(t *testing.T) {
+	ms := doall.NewPaRan1(3, 12, 5)
+	adv := doall.NewCrashingAdversary(doall.NewFairAdversary(2), []doall.CrashEvent{
+		{Pid: 0, At: 1}, {Pid: 1, At: 2},
+	})
+	res, err := doall.Simulate(doall.SimConfig{P: 3, T: 12}, ms, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("survivor did not finish")
+	}
+}
+
+func TestPublicAPILowerBoundAdversaries(t *testing.T) {
+	perms := doall.FindSchedules(2, 20, 6)
+	ms, err := doall.NewDA(doall.DAConfig{P: 4, T: 64, Q: 2, Perms: perms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doall.Simulate(doall.SimConfig{P: 4, T: 64}, ms,
+		doall.NewLowerBoundAdversaryDet(4, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	ms2 := doall.NewPaRan2(4, 64, 7)
+	if _, err := doall.Simulate(doall.SimConfig{P: 4, T: 64}, ms2,
+		doall.NewLowerBoundAdversaryRand(4, 64)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIExecuteRuntime(t *testing.T) {
+	var hits atomic.Int64
+	cfg := doall.DefaultRunConfig(3, 12, 2)
+	cfg.Unit = 50 * time.Microsecond
+	cfg.Task = func(id int) { hits.Add(1) }
+	rep, err := doall.Execute(cfg, doall.NewPaRan1(3, 12, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved {
+		t.Fatal("not solved")
+	}
+	if hits.Load() < 12 {
+		t.Fatalf("task body ran %d times, want ≥ 12", hits.Load())
+	}
+}
+
+func TestPublicAPIBounds(t *testing.T) {
+	if doall.LowerBound(8, 64, 4) <= 64 {
+		t.Fatal("lower bound should exceed t for p,d > 1")
+	}
+	if doall.DAUpperBound(8, 64, 4, 0.5) <= 0 || doall.PAUpperBound(8, 64, 4) <= 0 {
+		t.Fatal("upper bounds must be positive")
+	}
+}
+
+func TestPublicAPIContention(t *testing.T) {
+	s := doall.FindSchedules(3, 100, 9)
+	c := doall.Contention(s)
+	if c < 3 || c > 9 {
+		t.Fatalf("Cont out of [n, n²]: %d", c)
+	}
+	if doall.DContention(s, 3) != 9 {
+		t.Fatalf("(n)-Cont should be n² = 9")
+	}
+}

@@ -1,0 +1,190 @@
+// Package adversary provides implementations of the d-adversary of
+// Kowalski & Shvartsman Section 2.2: schedulers that control processor
+// speeds, crashes, and message delays up to a bound d. It includes benign
+// adversaries (fair, random) used to measure upper bounds, crash
+// adversaries for fault-tolerance tests, and the lower-bound constructions
+// of Theorems 3.1 and 3.4.
+package adversary
+
+import (
+	"math/rand"
+
+	"doall/internal/sim"
+)
+
+// Fair is the benign d-adversary: every processor takes a step every time
+// unit and every message is delayed exactly Delay units (Delay ≤ d). With
+// Delay == 1 it models the fastest legal network.
+type Fair struct {
+	Bound int64 // d
+	Fixed int64 // actual delay applied, 1 ≤ Fixed ≤ Bound (0 means Bound)
+	all   []int
+}
+
+var _ sim.Adversary = (*Fair)(nil)
+
+// NewFair returns a Fair adversary with delay bound d that delays every
+// message by exactly d.
+func NewFair(d int64) *Fair { return &Fair{Bound: d, Fixed: d} }
+
+// D implements sim.Adversary.
+func (a *Fair) D() int64 { return a.Bound }
+
+// Schedule implements sim.Adversary: all live processors step.
+func (a *Fair) Schedule(v *sim.View) sim.Decision {
+	if len(a.all) != v.P {
+		a.all = make([]int, v.P)
+		for i := range a.all {
+			a.all[i] = i
+		}
+	}
+	return sim.Decision{Active: a.all}
+}
+
+// Delay implements sim.Adversary.
+func (a *Fair) Delay(from, to int, sentAt int64) int64 {
+	if a.Fixed >= 1 && a.Fixed <= a.Bound {
+		return a.Fixed
+	}
+	return a.Bound
+}
+
+// Random is a d-adversary that activates each processor independently with
+// probability Activity each unit and delays each message uniformly in
+// [1, d]. It models "disparate processor speeds and varying message
+// latency" (paper Section 1). All randomness is drawn from a seeded source
+// so runs are reproducible.
+type Random struct {
+	Bound    int64
+	Activity float64
+	rng      *rand.Rand
+	scratch  []int
+}
+
+var _ sim.Adversary = (*Random)(nil)
+
+// NewRandom returns a Random adversary with delay bound d, per-unit
+// activation probability activity, and the given seed.
+func NewRandom(d int64, activity float64, seed int64) *Random {
+	return &Random{Bound: d, Activity: activity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// D implements sim.Adversary.
+func (a *Random) D() int64 { return a.Bound }
+
+// Schedule implements sim.Adversary. To keep executions live it activates
+// at least one non-crashed, non-halted processor each unit.
+func (a *Random) Schedule(v *sim.View) sim.Decision {
+	a.scratch = a.scratch[:0]
+	for i := 0; i < v.P; i++ {
+		if v.Crashed[i] || v.Halted[i] {
+			continue
+		}
+		if a.rng.Float64() < a.Activity {
+			a.scratch = append(a.scratch, i)
+		}
+	}
+	if len(a.scratch) == 0 {
+		for i := 0; i < v.P; i++ {
+			if !v.Crashed[i] && !v.Halted[i] {
+				a.scratch = append(a.scratch, i)
+				break
+			}
+		}
+	}
+	return sim.Decision{Active: a.scratch}
+}
+
+// Delay implements sim.Adversary.
+func (a *Random) Delay(from, to int, sentAt int64) int64 {
+	return 1 + a.rng.Int63n(a.Bound)
+}
+
+// CrashEvent schedules processor Pid to crash at time At.
+type CrashEvent struct {
+	Pid int
+	At  int64
+}
+
+// Crashing wraps another adversary and injects crash failures at scheduled
+// times. The wrapped adversary's scheduling and delays are otherwise used
+// unchanged. It never crashes the last live processor (the model requires
+// at least one survivor).
+type Crashing struct {
+	Inner  sim.Adversary
+	Events []CrashEvent
+}
+
+var _ sim.Adversary = (*Crashing)(nil)
+
+// NewCrashing wraps inner with the given crash schedule.
+func NewCrashing(inner sim.Adversary, events []CrashEvent) *Crashing {
+	return &Crashing{Inner: inner, Events: events}
+}
+
+// D implements sim.Adversary.
+func (a *Crashing) D() int64 { return a.Inner.D() }
+
+// Schedule implements sim.Adversary.
+func (a *Crashing) Schedule(v *sim.View) sim.Decision {
+	dec := a.Inner.Schedule(v)
+	live := 0
+	for i := 0; i < v.P; i++ {
+		if !v.Crashed[i] {
+			live++
+		}
+	}
+	for _, e := range a.Events {
+		if e.At == v.Now && live > 1 && !v.Crashed[e.Pid] {
+			dec.Crash = append(dec.Crash, e.Pid)
+			live--
+		}
+	}
+	return dec
+}
+
+// Delay implements sim.Adversary.
+func (a *Crashing) Delay(from, to int, sentAt int64) int64 {
+	return a.Inner.Delay(from, to, sentAt)
+}
+
+// SlowSet is a d-adversary that runs a designated subset of processors at
+// a fraction of full speed (one step every Period units) while the rest
+// run at full speed; messages are delayed by the full bound d. It models
+// persistent speed disparity.
+type SlowSet struct {
+	Bound  int64
+	Slow   map[int]bool
+	Period int64
+	buf    []int
+}
+
+var _ sim.Adversary = (*SlowSet)(nil)
+
+// NewSlowSet returns a SlowSet adversary: processors in slow take one step
+// every period units.
+func NewSlowSet(d int64, slow []int, period int64) *SlowSet {
+	m := make(map[int]bool, len(slow))
+	for _, i := range slow {
+		m[i] = true
+	}
+	return &SlowSet{Bound: d, Slow: m, Period: period}
+}
+
+// D implements sim.Adversary.
+func (a *SlowSet) D() int64 { return a.Bound }
+
+// Schedule implements sim.Adversary.
+func (a *SlowSet) Schedule(v *sim.View) sim.Decision {
+	a.buf = a.buf[:0]
+	for i := 0; i < v.P; i++ {
+		if a.Slow[i] && v.Now%a.Period != 0 {
+			continue
+		}
+		a.buf = append(a.buf, i)
+	}
+	return sim.Decision{Active: a.buf}
+}
+
+// Delay implements sim.Adversary.
+func (a *SlowSet) Delay(from, to int, sentAt int64) int64 { return a.Bound }

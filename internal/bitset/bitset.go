@@ -1,0 +1,184 @@
+// Package bitset provides a compact, fixed-size bit set used for the
+// algorithms' knowledge payloads (progress-tree snapshots and done-job
+// sets). Compared with []bool it is 8× denser, supports O(words) union —
+// the monotone merge every algorithm relies on — and serializes directly.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set is a fixed-capacity bit set. The zero value is unusable; create
+// sets with New.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a set with capacity for n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromBools builds a set from a []bool.
+func FromBools(b []bool) *Set {
+	s := New(len(b))
+	for i, v := range b {
+		if v {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// Len returns the capacity n.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int) bool {
+	s.check(i)
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// All reports whether every bit is set.
+func (s *Set) All() bool { return s.Count() == s.n }
+
+// None reports whether no bit is set.
+func (s *Set) None() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith ORs other into s (the monotone knowledge merge). It returns
+// the number of bits newly set in s. Both sets must have the same length.
+func (s *Set) UnionWith(other *Set) int {
+	if other.n != s.n {
+		panic("bitset: UnionWith length mismatch")
+	}
+	added := 0
+	for i, w := range other.words {
+		neu := w &^ s.words[i]
+		if neu != 0 {
+			added += bits.OnesCount64(neu)
+			s.words[i] |= neu
+		}
+	}
+	return added
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether both sets have identical length and contents.
+func (s *Set) Equal(other *Set) bool {
+	if other.n != s.n {
+		return false
+	}
+	for i, w := range s.words {
+		if other.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ToBools expands the set to a []bool.
+func (s *Set) ToBools() []bool {
+	out := make([]bool, s.n)
+	for i := range out {
+		out[i] = s.Get(i)
+	}
+	return out
+}
+
+// NextClear returns the index of the first clear bit at or after from, or
+// -1 if none.
+func (s *Set) NextClear(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < s.n; i++ {
+		w := s.words[i>>6]
+		if w == ^uint64(0) { // word full: skip it
+			i |= 63
+			continue
+		}
+		if w&(1<<(uint(i)&63)) == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Words exposes the raw backing words for serialization. The final word's
+// unused high bits are always zero.
+func (s *Set) Words() []uint64 { return s.words }
+
+// SetWords overwrites the backing words (used by deserialization); the
+// slice length must match.
+func (s *Set) SetWords(w []uint64) {
+	if len(w) != len(s.words) {
+		panic("bitset: SetWords length mismatch")
+	}
+	copy(s.words, w)
+	s.maskTail()
+}
+
+// maskTail zeroes bits beyond n in the last word.
+func (s *Set) maskTail() {
+	if s.n%64 != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % 64)) - 1
+	}
+}
+
+// String renders the set as a 0/1 string, lowest index first (diagnostic).
+func (s *Set) String() string {
+	b := make([]byte, s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Get(i) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,209 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSetGetClear(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("fresh set has bit %d", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		s.Clear(i)
+		if s.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Get(%d) did not panic", i)
+				}
+			}()
+			s.Get(i)
+		}()
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestCountAllNone(t *testing.T) {
+	s := New(70)
+	if !s.None() || s.All() || s.Count() != 0 {
+		t.Fatal("fresh set state wrong")
+	}
+	for i := 0; i < 70; i++ {
+		s.Set(i)
+	}
+	if s.Count() != 70 || !s.All() || s.None() {
+		t.Fatal("full set state wrong")
+	}
+
+	z := New(0)
+	if !z.All() || !z.None() {
+		t.Fatal("empty set should be both All and None")
+	}
+}
+
+func TestUnionWithCountsNewBits(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	added := a.UnionWith(b)
+	if added != 1 {
+		t.Fatalf("added = %d, want 1 (only bit 99 is new)", added)
+	}
+	for _, i := range []int{1, 50, 99} {
+		if !a.Get(i) {
+			t.Fatalf("bit %d missing after union", i)
+		}
+	}
+	if a.Count() != 3 {
+		t.Fatalf("count = %d, want 3", a.Count())
+	}
+	// Idempotent.
+	if again := a.UnionWith(b); again != 0 {
+		t.Fatalf("second union added %d bits", again)
+	}
+}
+
+func TestUnionLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+func TestCloneEqualIndependent(t *testing.T) {
+	a := New(65)
+	a.Set(64)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(0)
+	if a.Get(0) {
+		t.Fatal("clone shares storage")
+	}
+	if a.Equal(New(66)) {
+		t.Fatal("Equal across lengths")
+	}
+}
+
+func TestFromToBools(t *testing.T) {
+	in := []bool{true, false, true, true, false}
+	s := FromBools(in)
+	out := s.ToBools()
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestNextClear(t *testing.T) {
+	s := New(130)
+	if got := s.NextClear(0); got != 0 {
+		t.Fatalf("NextClear(0) = %d, want 0", got)
+	}
+	for i := 0; i < 128; i++ {
+		s.Set(i)
+	}
+	if got := s.NextClear(0); got != 128 {
+		t.Fatalf("NextClear(0) = %d, want 128 (skips two full words)", got)
+	}
+	if got := s.NextClear(129); got != 129 {
+		t.Fatalf("NextClear(129) = %d, want 129", got)
+	}
+	s.Set(128)
+	s.Set(129)
+	if got := s.NextClear(0); got != -1 {
+		t.Fatalf("NextClear on full set = %d, want -1", got)
+	}
+	if got := s.NextClear(-5); got != -1 {
+		t.Fatalf("NextClear(-5) on full set = %d, want -1", got)
+	}
+}
+
+func TestSetWordsMasksTail(t *testing.T) {
+	s := New(5)
+	s.SetWords([]uint64{^uint64(0)}) // all 64 bits, but only 5 valid
+	if s.Count() != 5 {
+		t.Fatalf("count = %d after SetWords, want 5 (tail masked)", s.Count())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(4)
+	s.Set(1)
+	s.Set(3)
+	if got := s.String(); got != "0101" {
+		t.Fatalf("String() = %q, want 0101", got)
+	}
+}
+
+// Property: union behaves exactly like the boolean-slice union.
+func TestQuickUnionMatchesBoolModel(t *testing.T) {
+	f := func(seedA, seedB int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
+		ba, bb := make([]bool, n), make([]bool, n)
+		for i := 0; i < n; i++ {
+			ba[i] = ra.Intn(2) == 1
+			bb[i] = rb.Intn(2) == 1
+		}
+		sa, sb := FromBools(ba), FromBools(bb)
+		sa.UnionWith(sb)
+		for i := 0; i < n; i++ {
+			if sa.Get(i) != (ba[i] || bb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count equals the number of distinct Set calls.
+func TestQuickCount(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%250) + 1
+		r := rand.New(rand.NewSource(seed))
+		s := New(n)
+		distinct := map[int]bool{}
+		for k := 0; k < 50; k++ {
+			i := r.Intn(n)
+			s.Set(i)
+			distinct[i] = true
+		}
+		return s.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

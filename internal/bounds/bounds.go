@@ -1,0 +1,63 @@
+// Package bounds evaluates the closed-form complexity expressions of the
+// paper so experiments can print measured work next to the theory curves:
+// the delay-sensitive lower bound of Theorems 3.1/3.4, the DA(q) upper
+// bound of Theorems 5.4/5.5, and the PA upper bound of Theorems 6.2/6.3.
+// All functions return float64 "shape" values — the theorems hide
+// constants, so only growth and crossovers are meaningful.
+package bounds
+
+import "math"
+
+// LowerBound returns the Ω(t + p·min{d,t}·log_{d+1}(d+t)) lower bound of
+// Theorems 3.1 and 3.4 (deterministic worst case and randomized
+// expectation coincide).
+func LowerBound(p, t, d int) float64 {
+	if p < 1 || t < 1 || d < 1 {
+		return 0
+	}
+	m := math.Min(float64(d), float64(t))
+	logTerm := math.Log(float64(d+t)) / math.Log(float64(d+1))
+	return float64(t) + float64(p)*m*logTerm
+}
+
+// DAUpperBound returns the O(t·p^ε + p·min{t,d}·⌈t/d⌉^ε) bound of Theorem
+// 5.5 for a given ε.
+func DAUpperBound(p, t, d int, eps float64) float64 {
+	if p < 1 || t < 1 || d < 1 {
+		return 0
+	}
+	m := math.Min(float64(t), float64(d))
+	ceil := math.Ceil(float64(t) / float64(d))
+	return float64(t)*math.Pow(float64(p), eps) + float64(p)*m*math.Pow(ceil, eps)
+}
+
+// PAUpperBound returns the O(t·log p + p·min{t,d}·log(2+t/d)) bound of
+// Theorems 6.2/6.3 (with the log n = log min{t,p} refinement folded into
+// log p for p ≤ t).
+func PAUpperBound(p, t, d int) float64 {
+	if p < 1 || t < 1 || d < 1 {
+		return 0
+	}
+	n := math.Min(float64(t), float64(p))
+	m := math.Min(float64(t), float64(d))
+	return float64(t)*math.Log(math.Max(2, n)) + float64(p)*m*math.Log(2+float64(t)/float64(d))
+}
+
+// PAMessageBound returns the O(t·p·log p + p²·min{t,d}·log(2+t/d))
+// message-complexity bound of Theorems 6.2/6.3.
+func PAMessageBound(p, t, d int) float64 {
+	return float64(p) * PAUpperBound(p, t, d)
+}
+
+// ObliviousWork returns p·t, the work of the communication-oblivious
+// algorithm (and the forced work for d = Ω(t), Proposition 2.2).
+func ObliviousWork(p, t int) float64 { return float64(p) * float64(t) }
+
+// Overhead returns measured/theory, the constant-factor overhead of a
+// measured work value against a bound; it returns 0 when the bound is 0.
+func Overhead(measured int64, bound float64) float64 {
+	if bound == 0 {
+		return 0
+	}
+	return float64(measured) / bound
+}

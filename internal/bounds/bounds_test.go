@@ -1,0 +1,96 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowerBoundDegenerate(t *testing.T) {
+	if LowerBound(0, 10, 1) != 0 || LowerBound(10, 0, 1) != 0 || LowerBound(10, 10, 0) != 0 {
+		t.Fatal("degenerate arguments should give 0")
+	}
+}
+
+func TestLowerBoundAtLeastT(t *testing.T) {
+	for _, c := range [][3]int{{1, 100, 1}, {8, 64, 4}, {16, 1024, 32}} {
+		if lb := LowerBound(c[0], c[1], c[2]); lb < float64(c[1]) {
+			t.Errorf("LowerBound%v = %v below t", c, lb)
+		}
+	}
+}
+
+func TestLowerBoundGrowsWithD(t *testing.T) {
+	// For d ≤ t the bound must grow in d (more delay ⇒ more forced work).
+	prev := 0.0
+	for _, d := range []int{1, 2, 4, 8, 16, 32} {
+		lb := LowerBound(16, 64, d)
+		if lb <= prev {
+			t.Fatalf("LowerBound not increasing at d=%d: %v ≤ %v", d, lb, prev)
+		}
+		prev = lb
+	}
+}
+
+func TestLowerBoundApproachesQuadratic(t *testing.T) {
+	// As d → t the bound reaches Ω(p·t): at d = t it is within a constant
+	// factor of p·t.
+	p, tt := 8, 256
+	lb := LowerBound(p, tt, tt)
+	if lb < ObliviousWork(p, tt) {
+		t.Fatalf("LowerBound at d=t is %v, want ≥ p·t = %v", lb, ObliviousWork(p, tt))
+	}
+}
+
+func TestDAUpperBoundDominatesLowerBoundShape(t *testing.T) {
+	// Upper bound must sit above the lower bound for all tested configs
+	// (same model, so UB ≥ LB up to constants; with constant 1 both, DA's
+	// p^ε term keeps it above).
+	for _, d := range []int{1, 2, 8, 32, 128} {
+		ub := DAUpperBound(16, 256, d, 0.5)
+		lb := LowerBound(16, 256, d)
+		if ub < lb/10 {
+			t.Errorf("d=%d: DA UB %v implausibly below LB %v", d, ub, lb)
+		}
+	}
+}
+
+func TestDAUpperBoundMonotoneInEps(t *testing.T) {
+	// Larger ε means more work in the t·p^ε term for p > 1.
+	if DAUpperBound(16, 64, 2, 0.2) >= DAUpperBound(16, 64, 2, 0.8) {
+		t.Fatal("DA bound not increasing in ε")
+	}
+}
+
+func TestPAUpperBoundSubquadraticForSmallD(t *testing.T) {
+	// For d = o(t) the PA bound must be well below p·t at scale.
+	p, tt, d := 64, 4096, 4
+	if PAUpperBound(p, tt, d) >= ObliviousWork(p, tt) {
+		t.Fatal("PA bound not subquadratic for small d")
+	}
+}
+
+func TestPABeatsDAForLargeT(t *testing.T) {
+	// Section 1.2: efficient PA algorithms are within a log factor of
+	// optimal while DA carries a p^ε overhead, so for large t PA's bound
+	// is smaller.
+	p, tt, d := 64, 1<<16, 8
+	if PAUpperBound(p, tt, d) >= DAUpperBound(p, tt, d, 0.5) {
+		t.Fatal("PA bound should beat DA bound for large t")
+	}
+}
+
+func TestPAMessageBound(t *testing.T) {
+	p, tt, d := 8, 64, 2
+	if PAMessageBound(p, tt, d) != float64(p)*PAUpperBound(p, tt, d) {
+		t.Fatal("PAMessageBound ≠ p·PAUpperBound")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead(100, 0) != 0 {
+		t.Fatal("Overhead with zero bound should be 0")
+	}
+	if math.Abs(Overhead(150, 100)-1.5) > 1e-12 {
+		t.Fatal("Overhead(150,100) ≠ 1.5")
+	}
+}

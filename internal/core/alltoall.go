@@ -1,0 +1,68 @@
+package core
+
+import (
+	"doall/internal/sim"
+)
+
+// AllToAll is the communication-oblivious baseline from the introduction:
+// every processor performs every task itself, giving work Θ(p·t) and zero
+// messages. It is correct under any pattern of asynchrony, crashes (with
+// one survivor), and delay — the yardstick every delay-sensitive algorithm
+// must beat when d = o(t).
+//
+// Each processor starts at a pid-dependent offset so that distinct
+// processors cover the task space in rotated orders; this does not change
+// the worst-case work but spreads first-performances in benign runs.
+type AllToAll struct {
+	pid  int
+	t    int
+	next int // tasks performed so far (0..t)
+	off  int
+}
+
+var (
+	_ sim.Machine      = (*AllToAll)(nil)
+	_ sim.TaskIntender = (*AllToAll)(nil)
+	_ sim.Cloner       = (*AllToAll)(nil)
+)
+
+// NewAllToAll builds the p machines of the oblivious algorithm for t tasks.
+func NewAllToAll(p, t int) []sim.Machine {
+	ms := make([]sim.Machine, p)
+	for i := range ms {
+		off := 0
+		if p > 0 {
+			off = (i * ((t + p - 1) / p)) % t
+		}
+		ms[i] = &AllToAll{pid: i, t: t, off: off}
+	}
+	return ms
+}
+
+// Step implements sim.Machine: perform the next task in rotated order.
+func (m *AllToAll) Step(now int64, inbox []sim.Message) sim.StepResult {
+	if m.next >= m.t {
+		return sim.StepResult{Halt: true}
+	}
+	z := (m.off + m.next) % m.t
+	m.next++
+	return sim.StepResult{Performed: []int{z}, Halt: m.next >= m.t}
+}
+
+// KnowsAllDone implements sim.Machine: the processor knows all tasks are
+// done only once it has performed every one of them itself.
+func (m *AllToAll) KnowsAllDone() bool { return m.next >= m.t }
+
+// NextTask implements sim.TaskIntender.
+func (m *AllToAll) NextTask() int {
+	if m.next >= m.t {
+		return -1
+	}
+	return (m.off + m.next) % m.t
+}
+
+// CloneMachine implements sim.Cloner.
+func (m *AllToAll) CloneMachine() sim.Machine {
+	c := *m
+	return &c
+}

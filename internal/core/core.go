@@ -1,0 +1,67 @@
+// Package core implements the Do-All algorithms of Kowalski & Shvartsman:
+// the oblivious baselines AllToAll and ObliDo (Fig. 2), the deterministic
+// progress-tree family DA(q) (Section 5, Fig. 3), and the permutation
+// family PA — PaRan1, PaRan2, PaDet (Section 6, Fig. 4).
+//
+// Every algorithm is expressed as a set of sim.Machine step machines, one
+// per processor, so the same implementation runs under the deterministic
+// simulator (internal/sim) and the goroutine runtime (internal/runtime).
+//
+// # Tasks and jobs
+//
+// The problem instance is t similar, idempotent unit tasks with ids
+// 0…t-1. Following Sections 5.1.3 and 6, when t exceeds p the tasks are
+// grouped into at most p contiguous jobs of at most ⌈t/p⌉ tasks, and the
+// algorithms schedule jobs; performing a job means performing its tasks
+// one per local step.
+package core
+
+// Jobs describes a partition of t tasks into n contiguous jobs, job j
+// covering tasks [Start(j), End(j)). When t ≤ p each job is a single task.
+type Jobs struct {
+	T int // number of tasks
+	N int // number of jobs
+	g int // max job size ⌈t/n⌉
+}
+
+// NewJobs partitions t tasks for p processors per the paper: n = min(p, t)
+// jobs of at most ⌈t/n⌉ tasks each.
+func NewJobs(p, t int) Jobs {
+	if p < 1 || t < 1 {
+		panic("core: need p ≥ 1 and t ≥ 1")
+	}
+	n := p
+	if t < p {
+		n = t
+	}
+	g := (t + n - 1) / n
+	// With g = ⌈t/n⌉ some trailing jobs may be empty when t is far from a
+	// multiple of n; shrink n to the number of non-empty jobs.
+	n = (t + g - 1) / g
+	return Jobs{T: t, N: n, g: g}
+}
+
+// Size returns the number of tasks in job j.
+func (j Jobs) Size(job int) int {
+	s := j.Start(job)
+	e := j.End(job)
+	return e - s
+}
+
+// Start returns the first task id of job `job`.
+func (j Jobs) Start(job int) int { return job * j.g }
+
+// End returns one past the last task id of job `job`.
+func (j Jobs) End(job int) int {
+	e := (job + 1) * j.g
+	if e > j.T {
+		e = j.T
+	}
+	return e
+}
+
+// MaxSize returns ⌈t/n⌉, the maximum job size.
+func (j Jobs) MaxSize() int { return j.g }
+
+// JobOf returns the job containing task z.
+func (j Jobs) JobOf(z int) int { return z / j.g }

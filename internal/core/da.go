@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"doall/internal/perm"
+	"doall/internal/sim"
+	"doall/internal/tree"
+)
+
+// DA implements one processor of algorithm DA(q) (Section 5, Fig. 3): a
+// message-passing re-interpretation of the Anderson–Woll shared-memory
+// algorithm. Each processor holds a *replica* of a q-ary boolean progress
+// tree with the jobs at its leaves. It traverses the tree in post-order,
+// choosing the visiting order of the q subtrees of a depth-m node with the
+// permutation π_{x[m]} ∈ Σ selected by the m-th q-ary digit x[m] of its
+// pid. Instead of writing to shared memory it multicasts its tree whenever
+// it completes a leaf or closes an interior node; received trees are
+// merged monotonically into the replica, pruning the traversal.
+//
+// Work is O(t·p^ε + p·min{t,d}·⌈t/d⌉^ε) for a suitable constant q and a
+// low-contention Σ (Theorems 5.4, 5.5); messages are O(p·W) (Theorem 5.6).
+type DA struct {
+	pid    int
+	q      int
+	perms  perm.List // q permutations of [q]
+	digits []int     // q-ary digits of pid, digits[m] used at depth m
+	tree   *tree.Tree
+	jobs   Jobs
+	stack  []daFrame
+	unit   int  // tasks of the current leaf's job already performed
+	halted bool
+}
+
+type daFrame struct {
+	node  int
+	depth int
+	next  int // next ordinal (0..q) into the permutation at this depth
+}
+
+var (
+	_ sim.Machine      = (*DA)(nil)
+	_ sim.TaskIntender = (*DA)(nil)
+	_ sim.Cloner       = (*DA)(nil)
+)
+
+// DAConfig parameterizes the DA(q) family.
+type DAConfig struct {
+	P int // processors
+	T int // tasks
+	Q int // tree arity, 2 ≤ Q
+	// Perms is the schedule list Σ: Q permutations of [Q]. If nil, a
+	// low-contention list is required from the caller; use
+	// perm.FindLowContentionList or perm.RotationList.
+	Perms perm.List
+}
+
+// NewDA builds the p machines of algorithm DA(q).
+func NewDA(cfg DAConfig) ([]sim.Machine, error) {
+	if cfg.Q < 2 {
+		return nil, fmt.Errorf("core: DA requires q ≥ 2, got %d", cfg.Q)
+	}
+	if len(cfg.Perms) != cfg.Q || cfg.Perms.N() != cfg.Q {
+		return nil, fmt.Errorf("core: DA requires %d permutations of [%d], got %d of [%d]",
+			cfg.Q, cfg.Q, len(cfg.Perms), cfg.Perms.N())
+	}
+	if err := perm.CheckList(cfg.Perms); err != nil {
+		return nil, err
+	}
+	if cfg.P < 1 || cfg.T < 1 {
+		return nil, fmt.Errorf("core: DA requires p ≥ 1 and t ≥ 1")
+	}
+	jobs := NewJobs(cfg.P, cfg.T)
+	ms := make([]sim.Machine, cfg.P)
+	for i := range ms {
+		tr, _ := tree.NewForTasks(cfg.Q, jobs.N)
+		m := &DA{
+			pid:    i,
+			q:      cfg.Q,
+			perms:  cfg.Perms,
+			digits: qDigits(i, cfg.Q, tr.Height()),
+			tree:   tr,
+			jobs:   jobs,
+		}
+		m.stack = append(m.stack, daFrame{node: tr.Root(), depth: 0})
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// qDigits returns the h least-significant base-q digits of pid, least
+// significant first: digits[m] is used at tree depth m.
+func qDigits(pid, q, h int) []int {
+	d := make([]int, h)
+	for m := 0; m < h; m++ {
+		d[m] = pid % q
+		pid /= q
+	}
+	return d
+}
+
+// Step implements sim.Machine. Each step merges pending messages (one work
+// unit covers processing all of them, per the model) and then advances the
+// traversal by one micro-operation: skip a finished subtree, descend into
+// a child, perform one task of a leaf job, or close a node and multicast.
+func (m *DA) Step(now int64, inbox []sim.Message) sim.StepResult {
+	m.merge(inbox)
+
+	for {
+		if len(m.stack) == 0 {
+			// Traversal finished ⇒ root is marked ⇒ all tasks done.
+			m.halted = true
+			return sim.StepResult{Halt: true}
+		}
+		f := &m.stack[len(m.stack)-1]
+
+		// A node completed by others (via merge) is popped for free: the
+		// pruning happens during message processing already paid for. A
+		// leaf whose job a peer finished is abandoned even mid-job.
+		if m.tree.Done(f.node) {
+			m.stack = m.stack[:len(m.stack)-1]
+			m.unit = 0
+			continue
+		}
+
+		if m.tree.IsLeaf(f.node) {
+			// Perform the next task of this leaf's job.
+			job := m.tree.LeafIndex(f.node)
+			z := m.jobs.Start(job) + m.unit
+			m.unit++
+			if m.unit >= m.jobs.Size(job) {
+				m.unit = 0
+				m.tree.MarkLeaf(job)
+				m.stack = m.stack[:len(m.stack)-1]
+				return sim.StepResult{Performed: []int{z}, Broadcast: TreeSnapshot{Bits: m.tree.SnapshotSet()}}
+			}
+			return sim.StepResult{Performed: []int{z}}
+		}
+
+		// Interior node: descend into the next not-done child in the
+		// order given by π_{x[depth]}, or close the node if exhausted.
+		if f.next < m.q {
+			ord := m.perms[m.digits[f.depth]]
+			child := m.tree.Child(f.node, ord[f.next])
+			f.next++
+			if !m.tree.Done(child) {
+				m.stack = append(m.stack, daFrame{node: child, depth: f.depth + 1})
+				return sim.StepResult{} // one unit of traversal overhead
+			}
+			continue // skipping a done child is part of message processing
+		}
+
+		// All children done: close this node and share the news.
+		m.tree.Mark(f.node)
+		m.stack = m.stack[:len(m.stack)-1]
+		halt := m.tree.AllDone() && len(m.stack) == 0
+		m.halted = halt
+		return sim.StepResult{Broadcast: TreeSnapshot{Bits: m.tree.SnapshotSet()}, Halt: halt}
+	}
+}
+
+// merge applies received tree snapshots to the local replica.
+func (m *DA) merge(inbox []sim.Message) {
+	for _, msg := range inbox {
+		snap, ok := msg.Payload.(TreeSnapshot)
+		if !ok {
+			continue
+		}
+		m.tree.MergeSet(snap.Bits)
+	}
+}
+
+// KnowsAllDone implements sim.Machine.
+func (m *DA) KnowsAllDone() bool { return m.tree.AllDone() }
+
+// NextTask implements sim.TaskIntender: the task the next Step would
+// perform, ignoring yet-undelivered messages, or -1 if the next step is
+// pure traversal. It mirrors Step's control flow read-only.
+func (m *DA) NextTask() int {
+	depth := len(m.stack)
+	unit := m.unit
+	// Walk a virtual stack: copy indices only.
+	type vf struct{ node, depth, next int }
+	vs := make([]vf, depth)
+	for i, f := range m.stack {
+		vs[i] = vf{f.node, f.depth, f.next}
+	}
+	for len(vs) > 0 {
+		f := &vs[len(vs)-1]
+		if m.tree.Done(f.node) {
+			vs = vs[:len(vs)-1]
+			unit = 0
+			continue
+		}
+		if m.tree.IsLeaf(f.node) {
+			job := m.tree.LeafIndex(f.node)
+			return m.jobs.Start(job) + unit
+		}
+		if f.next < m.q {
+			ord := m.perms[m.digits[f.depth]]
+			child := m.tree.Child(f.node, ord[f.next])
+			f.next++
+			if !m.tree.Done(child) {
+				return -1 // next step descends, performing nothing
+			}
+			continue
+		}
+		return -1 // next step closes an interior node
+	}
+	return -1
+}
+
+// CloneMachine implements sim.Cloner (DA is deterministic).
+func (m *DA) CloneMachine() sim.Machine {
+	c := *m
+	c.tree = m.tree.Clone()
+	c.stack = append([]daFrame(nil), m.stack...)
+	// digits and perms are immutable; share them.
+	return &c
+}
+
+// Halted reports whether the machine has voluntarily halted.
+func (m *DA) Halted() bool { return m.halted }
+
+// TreeDoneLeaves exposes the replica's completed-leaf count (diagnostics).
+func (m *DA) TreeDoneLeaves() int { return m.tree.CountDoneLeaves() }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"doall/internal/perm"
+	"doall/internal/sim"
+)
+
+// ObliDo is the oblivious scheduling algorithm of Fig. 2: n processors
+// perform n jobs, processor i in the order given by permutation π_i of the
+// schedule list Σ, with no communication and no completion checks. Every
+// processor performs every job, so its work is always n² job units; its
+// role in the paper (Lemma 4.2) is that the number of *primary* job
+// executions — executions of jobs not previously performed by anyone — is
+// at most Cont(Σ). The simulator's Result.PrimaryExecutions measures
+// exactly that, which experiment E3 compares against Cont(Σ).
+type ObliDo struct {
+	pid   int
+	order perm.Perm // schedule over jobs
+	jobs  Jobs
+	jobIx int // index into order
+	unit  int // tasks of the current job already performed
+}
+
+var (
+	_ sim.Machine      = (*ObliDo)(nil)
+	_ sim.TaskIntender = (*ObliDo)(nil)
+	_ sim.Cloner       = (*ObliDo)(nil)
+)
+
+// NewObliDo builds p ObliDo machines for t tasks using the schedule list
+// l; processor i uses permutation l[i mod len(l)]. The permutations must
+// be over NewJobs(p, t).N elements.
+func NewObliDo(p, t int, l perm.List) []sim.Machine {
+	jobs := NewJobs(p, t)
+	if l.N() != jobs.N {
+		panic("core: ObliDo schedule list length must equal the number of jobs")
+	}
+	ms := make([]sim.Machine, p)
+	for i := range ms {
+		ms[i] = &ObliDo{pid: i, order: l[i%len(l)], jobs: jobs}
+	}
+	return ms
+}
+
+// Step implements sim.Machine.
+func (m *ObliDo) Step(now int64, inbox []sim.Message) sim.StepResult {
+	if m.jobIx >= len(m.order) {
+		return sim.StepResult{Halt: true}
+	}
+	job := m.order[m.jobIx]
+	z := m.jobs.Start(job) + m.unit
+	m.unit++
+	if m.unit >= m.jobs.Size(job) {
+		m.jobIx++
+		m.unit = 0
+	}
+	return sim.StepResult{Performed: []int{z}, Halt: m.jobIx >= len(m.order)}
+}
+
+// KnowsAllDone implements sim.Machine.
+func (m *ObliDo) KnowsAllDone() bool { return m.jobIx >= len(m.order) }
+
+// NextTask implements sim.TaskIntender.
+func (m *ObliDo) NextTask() int {
+	if m.jobIx >= len(m.order) {
+		return -1
+	}
+	return m.jobs.Start(m.order[m.jobIx]) + m.unit
+}
+
+// CloneMachine implements sim.Cloner.
+func (m *ObliDo) CloneMachine() sim.Machine {
+	c := *m
+	return &c
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"doall/internal/bitset"
+	"doall/internal/perm"
+	"doall/internal/sim"
+)
+
+// PA implements one processor of the permutation algorithms of Section 6
+// (Fig. 4). The processor keeps a local set of jobs known to be done;
+// while it has not ascertained that all jobs are complete it selects the
+// next not-known-done job according to its Selector, performs it (one task
+// per local step), marks it done, and multicasts its done-set. Received
+// done-sets are merged (a monotone union, charged to the step that
+// consumes them).
+//
+// The three family members differ only in the Selector:
+//
+//   - PaRan1: a permutation of the jobs drawn uniformly at random at
+//     start-up (Order = random, Select = next by local permutation).
+//   - PaRan2: each selection is uniform over the jobs not yet known done.
+//   - PaDet: a fixed schedule list Σ with low d-contention (Corollary 4.5);
+//     processor pid follows π_pid.
+//
+// Expected (worst-case for PaDet with a suitable Σ) work is
+// O(t·log p + p·min{t,d}·log(2+t/d)) — Theorems 6.2 and 6.3.
+type PA struct {
+	pid      int
+	jobs     Jobs
+	done     *bitset.Set // done job set (known complete)
+	remain   int         // jobs not known complete
+	selector selector
+	cur      int // current job, -1 if none selected
+	unit     int // tasks of current job already performed
+	halted   bool
+}
+
+// selector abstracts the Order+Select specializations of Fig. 4.
+type selector interface {
+	// next returns the next job to perform given the done-set, or -1 if
+	// every job is known done. It must not return a done job.
+	next(done *bitset.Set) int
+	// clone returns a deep copy, or nil if the selector is not cloneable
+	// (PaRan2's on-line randomness).
+	clone() selector
+}
+
+var (
+	_ sim.Machine      = (*PA)(nil)
+	_ sim.TaskIntender = (*PA)(nil)
+)
+
+// permSelector walks a fixed permutation of the jobs (PaRan1, PaDet).
+type permSelector struct {
+	order perm.Perm
+	pos   int
+}
+
+func (s *permSelector) next(done *bitset.Set) int {
+	for s.pos < len(s.order) {
+		j := s.order[s.pos]
+		if !done.Get(j) {
+			return j
+		}
+		s.pos++
+	}
+	return -1
+}
+
+func (s *permSelector) clone() selector {
+	c := *s
+	return &c
+}
+
+// randSelector draws uniformly among not-known-done jobs (PaRan2). It
+// commits to its next draw so that an adaptive adversary may observe it
+// (sim.TaskIntender), exactly the knowledge model of Theorem 3.4.
+type randSelector struct {
+	rng       *rand.Rand
+	committed int // -1 when no commitment
+}
+
+func (s *randSelector) next(done *bitset.Set) int {
+	if s.committed >= 0 && !done.Get(s.committed) {
+		return s.committed
+	}
+	var undone []int
+	for j := done.NextClear(0); j >= 0; j = done.NextClear(j + 1) {
+		undone = append(undone, j)
+	}
+	if len(undone) == 0 {
+		s.committed = -1
+		return -1
+	}
+	s.committed = undone[s.rng.Intn(len(undone))]
+	return s.committed
+}
+
+func (s *randSelector) clone() selector { return nil }
+
+// NewPaRan1 builds the p machines of algorithm PaRan1 for t tasks; each
+// processor draws its job permutation from a rand source seeded with
+// seed+pid, so runs are reproducible.
+func NewPaRan1(p, t int, seed int64) []sim.Machine {
+	jobs := NewJobs(p, t)
+	ms := make([]sim.Machine, p)
+	for i := range ms {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		ms[i] = newPA(i, jobs, &permSelector{order: perm.Random(jobs.N, r)})
+	}
+	return ms
+}
+
+// NewPaRan2 builds the p machines of algorithm PaRan2 for t tasks.
+func NewPaRan2(p, t int, seed int64) []sim.Machine {
+	jobs := NewJobs(p, t)
+	ms := make([]sim.Machine, p)
+	for i := range ms {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		ms[i] = newPA(i, jobs, &randSelector{rng: r, committed: -1})
+	}
+	return ms
+}
+
+// NewPaDet builds the p machines of algorithm PaDet for t tasks using the
+// schedule list l (p permutations of the job set; processor i follows
+// l[i mod len(l)]).
+func NewPaDet(p, t int, l perm.List) ([]sim.Machine, error) {
+	jobs := NewJobs(p, t)
+	if l.N() != jobs.N {
+		return nil, fmt.Errorf("core: PaDet schedules are over [%d], want [%d] (jobs)", l.N(), jobs.N)
+	}
+	if len(l) == 0 {
+		return nil, fmt.Errorf("core: PaDet requires a non-empty schedule list")
+	}
+	if err := perm.CheckList(l); err != nil {
+		return nil, err
+	}
+	ms := make([]sim.Machine, p)
+	for i := range ms {
+		ms[i] = newPA(i, jobs, &permSelector{order: l[i%len(l)]})
+	}
+	return ms, nil
+}
+
+func newPA(pid int, jobs Jobs, sel selector) *PA {
+	return &PA{
+		pid:      pid,
+		jobs:     jobs,
+		done:     bitset.New(jobs.N),
+		remain:   jobs.N,
+		selector: sel,
+		cur:      -1,
+	}
+}
+
+// Step implements sim.Machine.
+func (m *PA) Step(now int64, inbox []sim.Message) sim.StepResult {
+	m.mergeInbox(inbox)
+
+	if m.remain == 0 {
+		m.halted = true
+		return sim.StepResult{Halt: true}
+	}
+
+	// (Re)select if we have no current job or a peer finished ours.
+	if m.cur < 0 || m.done.Get(m.cur) {
+		m.cur = m.selector.next(m.done)
+		m.unit = 0
+		if m.cur < 0 {
+			m.halted = true
+			return sim.StepResult{Halt: true}
+		}
+	}
+
+	z := m.jobs.Start(m.cur) + m.unit
+	m.unit++
+	if m.unit < m.jobs.Size(m.cur) {
+		return sim.StepResult{Performed: []int{z}}
+	}
+
+	// Job complete: record, multicast the done-set, possibly halt.
+	m.markDone(m.cur)
+	m.cur = -1
+	m.unit = 0
+	halt := m.remain == 0
+	m.halted = halt
+	return sim.StepResult{
+		Performed: []int{z},
+		Broadcast: m.snapshot(),
+		Halt:      halt,
+	}
+}
+
+func (m *PA) mergeInbox(inbox []sim.Message) {
+	for _, msg := range inbox {
+		ds, ok := msg.Payload.(DoneSet)
+		if !ok || ds.Bits.Len() != m.done.Len() {
+			continue
+		}
+		m.remain -= m.done.UnionWith(ds.Bits)
+	}
+}
+
+func (m *PA) markDone(j int) {
+	if !m.done.Get(j) {
+		m.done.Set(j)
+		m.remain--
+	}
+}
+
+func (m *PA) snapshot() DoneSet {
+	return DoneSet{Bits: m.done.Clone()}
+}
+
+// KnowsAllDone implements sim.Machine.
+func (m *PA) KnowsAllDone() bool { return m.remain == 0 }
+
+// NextTask implements sim.TaskIntender.
+func (m *PA) NextTask() int {
+	if m.remain == 0 {
+		return -1
+	}
+	cur, unit := m.cur, m.unit
+	if cur < 0 || m.done.Get(cur) {
+		cur = m.selector.next(m.done)
+		unit = 0
+	}
+	if cur < 0 {
+		return -1
+	}
+	return m.jobs.Start(cur) + unit
+}
+
+// CloneMachine implements sim.Cloner for the deterministic members of the
+// family (PaDet, and PaRan1 after its permutation is fixed). It returns
+// nil for PaRan2, whose on-line randomness cannot be replayed; callers
+// must type-assert accordingly.
+func (m *PA) CloneMachine() sim.Machine {
+	sel := m.selector.clone()
+	if sel == nil {
+		return nil
+	}
+	c := *m
+	c.selector = sel
+	c.done = m.done.Clone()
+	return &c
+}
+
+// Halted reports whether the machine has voluntarily halted.
+func (m *PA) Halted() bool { return m.halted }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"doall/internal/bitset"
+	"doall/internal/wire"
+)
+
+// Sizer is implemented by payloads that know their encoded wire size; the
+// simulator uses it for byte accounting (message *count* remains the
+// paper's complexity measure).
+type Sizer interface {
+	WireSize() int
+}
+
+// TreeSnapshot is the DA multicast payload: a snapshot of the sender's
+// progress-tree bits. Receivers must treat it as immutable (it is shared
+// across the recipients of one multicast).
+type TreeSnapshot struct {
+	Bits *bitset.Set
+}
+
+// WireSize implements Sizer.
+func (s TreeSnapshot) WireSize() int { return wire.Size(wire.KindTree, s.Bits) }
+
+// Encode serializes the snapshot with the wire format.
+func (s TreeSnapshot) Encode() []byte { return wire.Encode(wire.KindTree, s.Bits) }
+
+// DoneSet is the PA multicast payload: the sender's known-done job set.
+// Immutable once sent.
+type DoneSet struct {
+	Bits *bitset.Set
+}
+
+// WireSize implements Sizer.
+func (s DoneSet) WireSize() int { return wire.Size(wire.KindDoneSet, s.Bits) }
+
+// Encode serializes the done-set with the wire format.
+func (s DoneSet) Encode() []byte { return wire.Encode(wire.KindDoneSet, s.Bits) }
+
+// DecodePayload parses an encoded payload back into its typed form.
+func DecodePayload(msg []byte) (any, error) {
+	kind, bits, err := wire.Decode(msg)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case wire.KindTree:
+		return TreeSnapshot{Bits: bits}, nil
+	default:
+		return DoneSet{Bits: bits}, nil
+	}
+}

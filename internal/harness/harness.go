@@ -1,0 +1,167 @@
+// Package harness builds algorithm instances from declarative specs, runs
+// them under configurable adversaries in the simulator, and formats the
+// results as aligned text or Markdown tables. It is the engine behind
+// cmd/experiments and the benchmark suite: every experiment in DESIGN.md's
+// index (E1–E10) is a function here returning a Table whose rows pair
+// measured work/messages with the paper's closed-form bounds.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"doall/internal/adversary"
+	"doall/internal/core"
+	"doall/internal/perm"
+	"doall/internal/sim"
+)
+
+// Algo identifies one of the implemented Do-All algorithms.
+type Algo string
+
+// The implemented algorithms.
+const (
+	AlgoAllToAll Algo = "AllToAll"
+	AlgoObliDo   Algo = "ObliDo"
+	AlgoDA       Algo = "DA"
+	AlgoPaRan1   Algo = "PaRan1"
+	AlgoPaRan2   Algo = "PaRan2"
+	AlgoPaDet    Algo = "PaDet"
+)
+
+// Adv identifies an adversary strategy.
+type Adv string
+
+// The available adversaries.
+const (
+	AdvFair        Adv = "fair"         // full speed, every message delayed exactly d
+	AdvRandom      Adv = "random"       // random activity and delays in [1, d]
+	AdvStageDet    Adv = "stage-det"    // Theorem 3.1 off-line construction
+	AdvStageOnline Adv = "stage-online" // Theorem 3.4 adaptive construction
+)
+
+// Spec declares one simulation run.
+type Spec struct {
+	Algo Algo
+	P, T int
+	// Q is the progress-tree arity (DA only; default 2).
+	Q int
+	// D is the message-delay bound.
+	D int64
+	// Adversary selects the d-adversary (default AdvFair).
+	Adversary Adv
+	// Seed drives all randomness (schedule search, machine randomness,
+	// random adversary).
+	Seed int64
+	// SearchRestarts bounds permutation-list search work (default 32).
+	SearchRestarts int
+	// MaxSteps overrides the simulator's step cap (0 = default).
+	MaxSteps int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Q == 0 {
+		s.Q = 2
+	}
+	if s.Adversary == "" {
+		s.Adversary = AdvFair
+	}
+	if s.SearchRestarts == 0 {
+		s.SearchRestarts = 32
+	}
+	if s.D == 0 {
+		s.D = 1
+	}
+	return s
+}
+
+// BuildMachines constructs the processor machines for the spec.
+func BuildMachines(s Spec) ([]sim.Machine, error) {
+	s = s.withDefaults()
+	r := rand.New(rand.NewSource(s.Seed))
+	switch s.Algo {
+	case AlgoAllToAll:
+		return core.NewAllToAll(s.P, s.T), nil
+	case AlgoObliDo:
+		jobs := core.NewJobs(s.P, s.T)
+		l := perm.RandomList(s.P, jobs.N, r)
+		return core.NewObliDo(s.P, s.T, l), nil
+	case AlgoDA:
+		l := perm.FindLowContentionList(s.Q, s.Q, s.SearchRestarts, r).List
+		return core.NewDA(core.DAConfig{P: s.P, T: s.T, Q: s.Q, Perms: l})
+	case AlgoPaRan1:
+		return core.NewPaRan1(s.P, s.T, s.Seed), nil
+	case AlgoPaRan2:
+		return core.NewPaRan2(s.P, s.T, s.Seed), nil
+	case AlgoPaDet:
+		jobs := core.NewJobs(s.P, s.T)
+		l := perm.FindLowDContentionList(s.P, jobs.N, int(s.D), s.SearchRestarts, r).List
+		return core.NewPaDet(s.P, s.T, l)
+	default:
+		return nil, fmt.Errorf("harness: unknown algorithm %q", s.Algo)
+	}
+}
+
+// BuildAdversary constructs the adversary for the spec.
+func BuildAdversary(s Spec) (sim.Adversary, error) {
+	s = s.withDefaults()
+	switch s.Adversary {
+	case AdvFair:
+		return adversary.NewFair(s.D), nil
+	case AdvRandom:
+		return adversary.NewRandom(s.D, 0.75, s.Seed^0x5eed), nil
+	case AdvStageDet:
+		return adversary.NewStageDeterministic(s.D, s.T), nil
+	case AdvStageOnline:
+		return adversary.NewStageOnline(s.D, s.T), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown adversary %q", s.Adversary)
+	}
+}
+
+// Execute builds and runs the spec once.
+func Execute(s Spec) (*sim.Result, error) {
+	s = s.withDefaults()
+	ms, err := BuildMachines(s)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := BuildAdversary(s)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{P: s.P, T: s.T, MaxSteps: s.MaxSteps}, ms, adv)
+}
+
+// Avg holds trial-averaged complexity measures.
+type Avg struct {
+	Work, Messages, Time float64
+	Trials               int
+}
+
+// ExecuteAvg runs the spec `trials` times with seeds seed, seed+1, … and
+// averages work, messages, and completion time. Use it for randomized
+// algorithms and the random adversary; deterministic spec+seed pairs just
+// return the same value each trial.
+func ExecuteAvg(s Spec, trials int) (Avg, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	var a Avg
+	for i := 0; i < trials; i++ {
+		run := s
+		run.Seed = s.Seed + int64(i)
+		res, err := Execute(run)
+		if err != nil {
+			return Avg{}, fmt.Errorf("harness: trial %d: %w", i, err)
+		}
+		a.Work += float64(res.Work)
+		a.Messages += float64(res.Messages)
+		a.Time += float64(res.SolvedAt)
+	}
+	a.Work /= float64(trials)
+	a.Messages /= float64(trials)
+	a.Time /= float64(trials)
+	a.Trials = trials
+	return a, nil
+}

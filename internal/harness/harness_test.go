@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildMachinesAllAlgos(t *testing.T) {
+	for _, algo := range []Algo{AlgoAllToAll, AlgoObliDo, AlgoDA, AlgoPaRan1, AlgoPaRan2, AlgoPaDet} {
+		ms, err := BuildMachines(Spec{Algo: algo, P: 4, T: 8, D: 2, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(ms) != 4 {
+			t.Fatalf("%s: %d machines, want 4", algo, len(ms))
+		}
+	}
+	if _, err := BuildMachines(Spec{Algo: "nope", P: 1, T: 1}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestBuildAdversaryAll(t *testing.T) {
+	for _, a := range []Adv{AdvFair, AdvRandom, AdvStageDet, AdvStageOnline} {
+		adv, err := BuildAdversary(Spec{Adversary: a, P: 2, T: 4, D: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if adv.D() != 3 {
+			t.Fatalf("%s: D = %d, want 3", a, adv.D())
+		}
+	}
+	if _, err := BuildAdversary(Spec{Adversary: "nope"}); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestExecuteEveryAlgoSolves(t *testing.T) {
+	for _, algo := range []Algo{AlgoAllToAll, AlgoObliDo, AlgoDA, AlgoPaRan1, AlgoPaRan2, AlgoPaDet} {
+		res, err := Execute(Spec{Algo: algo, P: 4, T: 16, D: 2, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !res.Solved {
+			t.Fatalf("%s: not solved", algo)
+		}
+	}
+}
+
+func TestExecuteAvgDeterministicIsStable(t *testing.T) {
+	// Deterministic algo with fair adversary and trial-varying seeds: DA's
+	// permutation search depends on seed, so use AllToAll which is seed-free.
+	avg, err := ExecuteAvg(Spec{Algo: AlgoAllToAll, P: 3, T: 9, D: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Work != 27 {
+		t.Fatalf("avg work = %v, want 27", avg.Work)
+	}
+	if avg.Trials != 3 {
+		t.Fatalf("trials = %d", avg.Trials)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("EX", "demo", "a", "bb")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 100.0)
+	tb.Note = "hello"
+
+	s := tb.String()
+	for _, want := range []string{"EX — demo", "a", "bb", "2.50", "100", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q in:\n%s", want, s)
+		}
+	}
+
+	md := tb.Markdown()
+	for _, want := range []string{"### EX — demo", "| a | bb |", "|---|---|", "| 1 | 2.50 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("Markdown() missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.5:     "3.50",
+		1234.56: "1235",
+		0.25:    "0.25",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doall/internal/core"
+	"doall/internal/perm"
+	"doall/internal/sim"
+)
+
+func fastCfg(p, t, d int) Config {
+	return Config{
+		P: p, T: t, D: d,
+		Unit:    50 * time.Microsecond,
+		Seed:    1,
+		Timeout: 20 * time.Second,
+	}
+}
+
+func TestRunDA(t *testing.T) {
+	p, tasks := 4, 16
+	r := rand.New(rand.NewSource(2))
+	l := perm.FindLowContentionList(2, 2, 10, r).List
+	ms, err := core.NewDA(core.DAConfig{P: p, T: tasks, Q: 2, Perms: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(fastCfg(p, tasks, 2), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved {
+		t.Fatal("not solved")
+	}
+	if rep.TaskExecutions < int64(tasks) {
+		t.Fatalf("executions %d < t", rep.TaskExecutions)
+	}
+	if rep.Steps <= 0 || rep.Elapsed <= 0 {
+		t.Fatal("missing accounting")
+	}
+}
+
+func TestRunPaRan1ExecutesEveryTaskBody(t *testing.T) {
+	p, tasks := 3, 30
+	var hits [30]atomic.Int64
+	cfg := fastCfg(p, tasks, 3)
+	cfg.Task = func(id int) { hits[id].Add(1) }
+	rep, err := Run(cfg, core.NewPaRan1(p, tasks, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved {
+		t.Fatal("not solved")
+	}
+	for id := range hits {
+		if hits[id].Load() == 0 {
+			t.Fatalf("task %d body never executed", id)
+		}
+	}
+}
+
+func TestRunWithCrashes(t *testing.T) {
+	p, tasks := 4, 20
+	cfg := fastCfg(p, tasks, 2)
+	cfg.CrashAfter = map[int]int{1: 3, 2: 5, 3: 2}
+	rep, err := Run(cfg, core.NewPaRan1(p, tasks, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved {
+		t.Fatal("survivor failed to finish")
+	}
+	for _, pid := range []int{1, 2, 3} {
+		if !rep.Crashed[pid] {
+			t.Fatalf("processor %d should have crashed", pid)
+		}
+	}
+	if rep.Crashed[0] {
+		t.Fatal("processor 0 crashed unexpectedly")
+	}
+}
+
+func TestRunAllToAllNoMessages(t *testing.T) {
+	p, tasks := 3, 9
+	rep, err := Run(fastCfg(p, tasks, 2), core.NewAllToAll(p, tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != 0 {
+		t.Fatalf("oblivious algorithm sent %d messages", rep.Messages)
+	}
+	if rep.TaskExecutions != int64(p*tasks) {
+		t.Fatalf("executions = %d, want p·t = %d", rep.TaskExecutions, p*tasks)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	cfg := fastCfg(1, 1, 1)
+	cfg.Timeout = 20 * time.Millisecond
+	_, err := Run(cfg, []sim.Machine{stuckMachine{}})
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+type stuckMachine struct{}
+
+func (stuckMachine) Step(now int64, inbox []sim.Message) sim.StepResult { return sim.StepResult{} }
+func (stuckMachine) KnowsAllDone() bool                                 { return false }
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{P: 2, T: 1, D: 1}, nil); err == nil {
+		t.Fatal("machine count mismatch accepted")
+	}
+	if _, err := Run(Config{P: 1, T: 0, D: 1}, []sim.Machine{stuckMachine{}}); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+	if _, err := Run(Config{P: 1, T: 1, D: 0}, []sim.Machine{stuckMachine{}}); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+}
+
+func TestRunManyProcessorsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	p, tasks := 16, 128
+	rep, err := Run(fastCfg(p, tasks, 4), core.NewPaRan2(p, tasks, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved {
+		t.Fatal("not solved")
+	}
+}

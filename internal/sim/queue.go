@@ -1,0 +1,54 @@
+package sim
+
+import "container/heap"
+
+// delayQueue is a min-heap of in-flight messages ordered by delivery time.
+// Ties are broken by send order (FIFO per channel follows because sends
+// carry increasing sequence numbers), keeping executions deterministic.
+type delayQueue struct {
+	h   msgHeap
+	seq int64
+}
+
+type queuedMsg struct {
+	Message
+	seq int64
+}
+
+type msgHeap []queuedMsg
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].DeliverAt != h[j].DeliverAt {
+		return h[i].DeliverAt < h[j].DeliverAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)        { *h = append(*h, x.(queuedMsg)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func newDelayQueue() *delayQueue { return &delayQueue{} }
+
+func (q *delayQueue) push(m Message) {
+	q.seq++
+	heap.Push(&q.h, queuedMsg{Message: m, seq: q.seq})
+}
+
+// popDue removes and returns every message with DeliverAt ≤ now, in
+// deterministic (delivery time, send sequence) order.
+func (q *delayQueue) popDue(now int64) []Message {
+	var out []Message
+	for len(q.h) > 0 && q.h[0].DeliverAt <= now {
+		out = append(out, heap.Pop(&q.h).(queuedMsg).Message)
+	}
+	return out
+}
+
+func (q *delayQueue) len() int { return len(q.h) }

@@ -1,0 +1,404 @@
+// Package sim is a deterministic discrete-time simulator of the
+// asynchronous message-passing model of Kowalski & Shvartsman (Section 2).
+//
+// Time advances in global units (the smallest gap between any two clock
+// ticks of any processor; unknown to the processors themselves). At every
+// unit an Adversary decides which processors take a local step and may
+// crash processors; it also assigns each message a delivery delay of at
+// most d units. Work and message complexity are accounted exactly as in
+// Definitions 2.1 and 2.2: every local step of a live, non-halted processor
+// costs one work unit until the problem is solved (all tasks performed and
+// at least one processor informed), and a broadcast to m recipients costs m
+// point-to-point messages.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Message is a point-to-point message in flight or delivered.
+type Message struct {
+	// From and To are processor ids.
+	From, To int
+	// SentAt is the global time at which the send step occurred.
+	SentAt int64
+	// DeliverAt is the global time at which the message enters the
+	// recipient's inbox. Invariant: SentAt < DeliverAt ≤ SentAt + d.
+	DeliverAt int64
+	// Payload is the algorithm-specific content. Payloads must be treated
+	// as immutable by receivers (they are shared between the recipients of
+	// one multicast).
+	Payload any
+}
+
+// StepResult is what a processor's single local step produced.
+type StepResult struct {
+	// Performed lists ids of tasks executed during this step. In the
+	// paper's unit-cost model a step performs at most one task; machines
+	// must respect that (the simulator enforces it).
+	Performed []int
+	// Broadcast, when non-nil, is a payload multicast to every other
+	// processor (p-1 point-to-point messages).
+	Broadcast any
+	// Sends lists additional point-to-point messages (used by the
+	// message-frugal gossip variants; one message each). A step may use
+	// Sends and Broadcast together, though the standard algorithms use at
+	// most one of them.
+	Sends []Send
+	// Halt indicates the processor voluntarily halts after this step. Per
+	// Proposition 2.1 correct algorithms halt only when they know all
+	// tasks are done; the simulator records but does not forbid early
+	// halts (the lower-bound experiments rely on observing them).
+	Halt bool
+}
+
+// Send is a directed point-to-point message produced by a step.
+type Send struct {
+	To      int
+	Payload any
+}
+
+// Machine is the step-machine interface every Do-All algorithm implements.
+// One Machine instance is one processor's local state.
+type Machine interface {
+	// Step executes one local step: process all messages in inbox (in one
+	// unit of work, per the model), optionally perform a task, optionally
+	// broadcast. It is called only for live, non-halted processors.
+	Step(now int64, inbox []Message) StepResult
+	// KnowsAllDone reports whether this processor's local knowledge
+	// implies every task has been performed.
+	KnowsAllDone() bool
+}
+
+// TaskIntender is an optional Machine extension exposing which task the
+// machine would perform on its next step, or -1 when it would not perform
+// any. Adaptive adversaries (Theorem 3.4's construction) use it to delay
+// processors that are about to perform protected tasks.
+type TaskIntender interface {
+	NextTask() int
+}
+
+// Cloner is an optional Machine extension for deterministic machines whose
+// state can be deep-copied. The off-line adversary of Theorem 3.1 clones
+// machines to look ahead one stage.
+type Cloner interface {
+	CloneMachine() Machine
+}
+
+// View is the adversary's omniscient picture of the system at the start of
+// a time unit.
+type View struct {
+	// Now is the current global time.
+	Now int64
+	// P is the number of processors; T the number of tasks.
+	P, T int
+	// DoneTasks[z] reports whether task z has been performed by anyone.
+	DoneTasks []bool
+	// Undone is the number of tasks not yet performed.
+	Undone int
+	// Machines exposes processor state for intent probing and cloning.
+	// Adversaries must not call Step on these.
+	Machines []Machine
+	// Inboxes[i] holds the messages delivered to processor i but not yet
+	// consumed by a step. Adversaries must treat them as read-only; the
+	// off-line lower-bound adversary copies them into machine clones when
+	// looking a stage ahead.
+	Inboxes [][]Message
+	// Crashed[i] and Halted[i] report processor i's status.
+	Crashed, Halted []bool
+	// InFlight is the number of undelivered messages.
+	InFlight int
+}
+
+// Decision is the adversary's scheduling choice for one time unit.
+type Decision struct {
+	// Active lists processors that take a local step this unit. Crashed
+	// and halted processors in the list are ignored.
+	Active []int
+	// Crash lists processors that crash at the start of this unit.
+	Crash []int
+}
+
+// Adversary controls asynchrony: per-unit scheduling, crashes, and message
+// delays. Implementations must respect the d-adversary contract: Delay
+// must return a value in [1, D()].
+type Adversary interface {
+	// D returns the message-delay bound d ≥ 1 this adversary honors.
+	D() int64
+	// Schedule is called once per global time unit.
+	Schedule(v *View) Decision
+	// Delay returns the delivery delay (in global time units, ≥ 1 and
+	// ≤ D()) for a message from processor `from` to `to` sent at `sentAt`.
+	Delay(from, to int, sentAt int64) int64
+}
+
+// Result aggregates the complexity measures of one execution.
+type Result struct {
+	// Solved reports whether all tasks were performed and some processor
+	// learned it before the step cap.
+	Solved bool
+	// SolvedAt is the global time σ at which the problem became solved
+	// (all tasks done and ≥ 1 processor informed); -1 if never.
+	SolvedAt int64
+	// Work is W of Definition 2.1: total local steps of live processors
+	// summed up to and including time σ.
+	Work int64
+	// Messages is M of Definition 2.2: point-to-point messages sent up to
+	// and including time σ.
+	Messages int64
+	// TotalSteps and TotalMessages extend the counts to the whole
+	// execution (until every processor halted or crashed, or the cap).
+	TotalSteps, TotalMessages int64
+	// Bytes is the wire volume (in bytes) of the point-to-point messages
+	// counted in Messages, for payloads that implement
+	// interface{ WireSize() int }; other payloads contribute zero. Byte
+	// volume is an engineering metric — the paper's message complexity is
+	// the count in Messages.
+	Bytes int64
+	// TaskExecutions counts every task performance, with multiplicity.
+	TaskExecutions int64
+	// PrimaryExecutions counts performances of tasks not performed by
+	// anyone at any earlier time unit (Section 4: "primary"); concurrent
+	// first performances all count. SecondaryExecutions is the rest.
+	PrimaryExecutions, SecondaryExecutions int64
+	// PerProcWork[i] is the number of steps processor i was charged.
+	PerProcWork []int64
+	// FirstDoneAt[z] is the time task z was first performed, or -1.
+	FirstDoneAt []int64
+	// HaltedEarly reports whether some processor halted before the
+	// problem was solved (a Proposition 2.1 violation by the algorithm).
+	HaltedEarly bool
+}
+
+// Config configures a simulation run.
+type Config struct {
+	// P is the number of processors; machines must have length P.
+	P int
+	// T is the number of tasks.
+	T int
+	// MaxSteps caps global time to guard against non-terminating
+	// executions; 0 means the default of 10^7.
+	MaxSteps int64
+	// StopAtSolved stops the simulation at time σ instead of running
+	// until all processors halt. Work/Messages are identical either way;
+	// TotalSteps/TotalMessages differ.
+	StopAtSolved bool
+}
+
+// ErrStepCap is returned when the simulation hits MaxSteps before the
+// problem is solved.
+var ErrStepCap = errors.New("sim: step cap exceeded before Do-All was solved")
+
+// Run executes machines under the adversary and returns the measured
+// complexities. It is deterministic given deterministic machines and
+// adversary.
+func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
+	if len(machines) != cfg.P {
+		return nil, fmt.Errorf("sim: %d machines for P=%d", len(machines), cfg.P)
+	}
+	if cfg.P < 1 || cfg.T < 1 {
+		return nil, fmt.Errorf("sim: need P ≥ 1 and T ≥ 1, got P=%d T=%d", cfg.P, cfg.T)
+	}
+	if adv.D() < 1 {
+		return nil, fmt.Errorf("sim: adversary delay bound %d < 1", adv.D())
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 10_000_000
+	}
+
+	s := &state{
+		cfg:      cfg,
+		machines: machines,
+		adv:      adv,
+		inbox:    make([][]Message, cfg.P),
+		pending:  newDelayQueue(),
+		crashed:  make([]bool, cfg.P),
+		halted:   make([]bool, cfg.P),
+		done:     make([]bool, cfg.T),
+		res: &Result{
+			SolvedAt:    -1,
+			PerProcWork: make([]int64, cfg.P),
+			FirstDoneAt: make([]int64, cfg.T),
+		},
+	}
+	for z := range s.res.FirstDoneAt {
+		s.res.FirstDoneAt[z] = -1
+	}
+
+	for now := int64(0); now < maxSteps; now++ {
+		if s.allStopped() {
+			break
+		}
+		s.tick(now)
+		if s.res.Solved && cfg.StopAtSolved {
+			break
+		}
+	}
+	if !s.res.Solved {
+		return s.res, ErrStepCap
+	}
+	return s.res, nil
+}
+
+type state struct {
+	cfg      Config
+	machines []Machine
+	adv      Adversary
+	inbox    [][]Message
+	pending  *delayQueue
+	crashed  []bool
+	halted   []bool
+	done     []bool
+	undone   int
+	res      *Result
+	inited   bool
+}
+
+func (s *state) allStopped() bool {
+	for i := range s.machines {
+		if !s.crashed[i] && !s.halted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tick advances one global time unit.
+func (s *state) tick(now int64) {
+	if !s.inited {
+		s.undone = s.cfg.T
+		s.inited = true
+	}
+
+	// 1. Deliver messages due now (or earlier, defensively).
+	for _, m := range s.pending.popDue(now) {
+		if !s.crashed[m.To] && !s.halted[m.To] {
+			s.inbox[m.To] = append(s.inbox[m.To], m)
+		}
+	}
+
+	// 2. Ask the adversary for this unit's schedule.
+	v := &View{
+		Now:       now,
+		P:         s.cfg.P,
+		T:         s.cfg.T,
+		DoneTasks: s.done, // shared; adversaries must not mutate
+		Undone:    s.undone,
+		Machines:  s.machines,
+		Inboxes:   s.inbox,
+		Crashed:   s.crashed,
+		Halted:    s.halted,
+		InFlight:  s.pending.len(),
+	}
+	dec := s.adv.Schedule(v)
+	for _, i := range dec.Crash {
+		if i >= 0 && i < s.cfg.P {
+			s.crashed[i] = true
+		}
+	}
+
+	// 3. Execute the scheduled local steps.
+	informed := false
+	for _, i := range dec.Active {
+		if i < 0 || i >= s.cfg.P || s.crashed[i] || s.halted[i] {
+			continue
+		}
+		inbox := s.inbox[i]
+		s.inbox[i] = nil
+		r := s.machines[i].Step(now, inbox)
+		if len(r.Performed) > 1 {
+			panic(fmt.Sprintf("sim: machine %d performed %d tasks in one step", i, len(r.Performed)))
+		}
+
+		s.res.TotalSteps++
+		s.res.PerProcWork[i]++
+		if !s.res.Solved {
+			s.res.Work++
+		}
+
+		for _, z := range r.Performed {
+			if z < 0 || z >= s.cfg.T {
+				panic(fmt.Sprintf("sim: machine %d performed out-of-range task %d", i, z))
+			}
+			s.res.TaskExecutions++
+			if s.res.FirstDoneAt[z] == -1 || s.res.FirstDoneAt[z] == now {
+				s.res.PrimaryExecutions++
+			} else {
+				s.res.SecondaryExecutions++
+			}
+			if !s.done[z] {
+				s.done[z] = true
+				s.undone--
+				s.res.FirstDoneAt[z] = now
+			}
+		}
+
+		if r.Broadcast != nil {
+			var wireSize int64
+			if sz, ok := r.Broadcast.(interface{ WireSize() int }); ok {
+				wireSize = int64(sz.WireSize())
+			}
+			for j := 0; j < s.cfg.P; j++ {
+				if j == i {
+					continue
+				}
+				delay := s.adv.Delay(i, j, now)
+				if delay < 1 || delay > s.adv.D() {
+					panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, s.adv.D()))
+				}
+				s.pending.push(Message{From: i, To: j, SentAt: now, DeliverAt: now + delay, Payload: r.Broadcast})
+				s.res.TotalMessages++
+				if !s.res.Solved {
+					s.res.Messages++
+					s.res.Bytes += wireSize
+				}
+			}
+		}
+
+		for _, snd := range r.Sends {
+			if snd.To < 0 || snd.To >= s.cfg.P || snd.To == i || snd.Payload == nil {
+				continue
+			}
+			delay := s.adv.Delay(i, snd.To, now)
+			if delay < 1 || delay > s.adv.D() {
+				panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, s.adv.D()))
+			}
+			s.pending.push(Message{From: i, To: snd.To, SentAt: now, DeliverAt: now + delay, Payload: snd.Payload})
+			s.res.TotalMessages++
+			if !s.res.Solved {
+				s.res.Messages++
+				if sz, ok := snd.Payload.(interface{ WireSize() int }); ok {
+					s.res.Bytes += int64(sz.WireSize())
+				}
+			}
+		}
+
+		if r.Halt {
+			s.halted[i] = true
+			if !s.res.Solved && !(s.undone == 0 && s.machines[i].KnowsAllDone()) {
+				s.res.HaltedEarly = true
+			}
+		}
+		if s.undone == 0 && s.machines[i].KnowsAllDone() {
+			informed = true
+		}
+	}
+
+	// 4. Solved check: all tasks done and some live processor informed.
+	if !s.res.Solved && s.undone == 0 {
+		if !informed {
+			for i, m := range s.machines {
+				if !s.crashed[i] && m.KnowsAllDone() {
+					informed = true
+					break
+				}
+			}
+		}
+		if informed {
+			s.res.Solved = true
+			s.res.SolvedAt = now
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShape(t *testing.T) {
+	cases := []struct {
+		q, h, leaves, size int
+	}{
+		{2, 0, 1, 1},
+		{2, 1, 2, 3},
+		{2, 3, 8, 15},
+		{3, 2, 9, 13},
+		{4, 2, 16, 21},
+		{5, 1, 5, 6},
+	}
+	for _, c := range cases {
+		tr := New(c.q, c.h)
+		if tr.Leaves() != c.leaves {
+			t.Errorf("New(%d,%d).Leaves() = %d, want %d", c.q, c.h, tr.Leaves(), c.leaves)
+		}
+		if tr.Size() != c.size {
+			t.Errorf("New(%d,%d).Size() = %d, want %d", c.q, c.h, tr.Size(), c.size)
+		}
+	}
+}
+
+func TestNewPanicsOnBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1, 2) should panic")
+		}
+	}()
+	New(1, 2)
+}
+
+func TestChildParentRoundTrip(t *testing.T) {
+	tr := New(3, 3)
+	for n := 0; n < tr.Size()-tr.Leaves(); n++ {
+		for c := 0; c < 3; c++ {
+			child := tr.Child(n, c)
+			if tr.Parent(child) != n {
+				t.Fatalf("Parent(Child(%d,%d)) = %d, want %d", n, c, tr.Parent(child), n)
+			}
+		}
+	}
+	if tr.Parent(tr.Root()) != -1 {
+		t.Fatal("root parent should be -1")
+	}
+}
+
+func TestLeafIndexing(t *testing.T) {
+	tr := New(2, 3)
+	for i := 0; i < tr.Leaves(); i++ {
+		n := tr.LeafNode(i)
+		if !tr.IsLeaf(n) {
+			t.Fatalf("LeafNode(%d) = %d not a leaf", i, n)
+		}
+		if tr.LeafIndex(n) != i {
+			t.Fatalf("LeafIndex(LeafNode(%d)) = %d", i, tr.LeafIndex(n))
+		}
+	}
+	if tr.IsLeaf(tr.Root()) {
+		t.Fatal("root of height-3 tree is not a leaf")
+	}
+}
+
+func TestMarkLeafPropagates(t *testing.T) {
+	tr := New(2, 2) // 4 leaves
+	tr.MarkLeaf(0)
+	tr.MarkLeaf(1)
+	// Left subtree root (child 0 of root) must now be done.
+	left := tr.Child(tr.Root(), 0)
+	if !tr.Done(left) {
+		t.Fatal("interior node not marked after both children done")
+	}
+	if tr.AllDone() {
+		t.Fatal("root marked too early")
+	}
+	tr.MarkLeaf(2)
+	tr.MarkLeaf(3)
+	if !tr.AllDone() {
+		t.Fatal("root not marked after all leaves done")
+	}
+	if bad := tr.CheckInvariant(); bad != -1 {
+		t.Fatalf("invariant violated at node %d", bad)
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	tr := New(2, 0)
+	if tr.AllDone() {
+		t.Fatal("fresh single-leaf tree is done")
+	}
+	tr.MarkLeaf(0)
+	if !tr.AllDone() {
+		t.Fatal("single-leaf tree not done after marking the leaf")
+	}
+}
+
+func TestNewForTasksPadding(t *testing.T) {
+	tr, pad := NewForTasks(3, 7) // next power of 3 is 9
+	if tr.Leaves() != 9 || pad != 2 {
+		t.Fatalf("NewForTasks(3,7): leaves=%d pad=%d, want 9, 2", tr.Leaves(), pad)
+	}
+	// Dummy leaves 7 and 8 are pre-marked.
+	if !tr.Done(tr.LeafNode(7)) || !tr.Done(tr.LeafNode(8)) {
+		t.Fatal("dummy leaves not pre-marked")
+	}
+	if tr.AllDone() {
+		t.Fatal("tree done with real tasks outstanding")
+	}
+	for i := 0; i < 7; i++ {
+		tr.MarkLeaf(i)
+	}
+	if !tr.AllDone() {
+		t.Fatal("tree not done after all real tasks performed")
+	}
+
+	// Exact power: no padding.
+	tr, pad = NewForTasks(2, 8)
+	if pad != 0 || tr.Leaves() != 8 {
+		t.Fatalf("NewForTasks(2,8): leaves=%d pad=%d", tr.Leaves(), pad)
+	}
+}
+
+func TestMergeMonotoneCommutativeIdempotent(t *testing.T) {
+	mk := func(leaves ...int) *Tree {
+		tr := New(2, 3)
+		for _, l := range leaves {
+			tr.MarkLeaf(l)
+		}
+		return tr
+	}
+	a := mk(0, 1, 2)
+	b := mk(3, 4, 5)
+
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	for i := 0; i < ab.Size(); i++ {
+		if ab.Done(i) != ba.Done(i) {
+			t.Fatalf("merge not commutative at node %d", i)
+		}
+	}
+
+	again := ab.Clone()
+	again.Merge(b)
+	for i := 0; i < ab.Size(); i++ {
+		if again.Done(i) != ab.Done(i) {
+			t.Fatalf("merge not idempotent at node %d", i)
+		}
+	}
+
+	// Left subtree (leaves 0..3) complete after merge → interior closure.
+	ab.MarkLeaf(3)
+	left := ab.Child(ab.Root(), 0)
+	if !ab.Done(left) {
+		t.Fatal("merge + mark did not close interior node")
+	}
+	if bad := ab.CheckInvariant(); bad != -1 {
+		t.Fatalf("invariant violated at node %d", bad)
+	}
+}
+
+func TestMergeBitsClosesInterior(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	a.MarkLeaf(0)
+	a.MarkLeaf(1)
+	b.MarkLeaf(2)
+	b.MarkLeaf(3)
+	a.MergeBits(b.Snapshot())
+	if !a.AllDone() {
+		t.Fatal("merging complementary halves should complete the tree")
+	}
+}
+
+func TestMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	New(2, 2).Merge(New(3, 2))
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	tr := New(2, 1)
+	s := tr.Snapshot()
+	s[0] = true
+	if tr.AllDone() {
+		t.Fatal("Snapshot shares memory with tree")
+	}
+}
+
+func TestCountDoneLeaves(t *testing.T) {
+	tr := New(3, 2)
+	if tr.CountDoneLeaves() != 0 {
+		t.Fatal("fresh tree has done leaves")
+	}
+	tr.MarkLeaf(4)
+	tr.MarkLeaf(7)
+	if got := tr.CountDoneLeaves(); got != 2 {
+		t.Fatalf("CountDoneLeaves = %d, want 2", got)
+	}
+}
+
+// Property: marking any set of leaves in any order yields a tree where the
+// interior invariant holds and AllDone ⇔ all leaves marked.
+func TestQuickMarkInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(qRaw, hRaw uint8, seed int64) bool {
+		q := int(qRaw%3) + 2  // 2..4
+		h := int(hRaw%3) + 1  // 1..3
+		tr := New(q, h)
+		rr := rand.New(rand.NewSource(seed))
+		order := rr.Perm(tr.Leaves())
+		k := rr.Intn(tr.Leaves() + 1)
+		for _, l := range order[:k] {
+			tr.MarkLeaf(l)
+		}
+		if tr.CheckInvariant() != -1 {
+			return false
+		}
+		return tr.AllDone() == (k == tr.Leaves())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two randomly marked replicas equals marking the union.
+func TestQuickMergeIsUnion(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		q, h := 2, 3
+		a, b, u := New(q, h), New(q, h), New(q, h)
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		for i := 0; i < a.Leaves(); i++ {
+			if ra.Intn(2) == 1 {
+				a.MarkLeaf(i)
+				u.MarkLeaf(i)
+			}
+			if rb.Intn(2) == 1 {
+				b.MarkLeaf(i)
+				u.MarkLeaf(i)
+			}
+		}
+		a.Merge(b)
+		for n := 0; n < a.Size(); n++ {
+			if a.Done(n) != u.Done(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package wire defines the compact message encoding used when the
+// algorithms' knowledge payloads are sent over a real transport, and the
+// byte-size accounting the simulator reports. The paper measures message
+// complexity in message *count* (Definition 2.2); wire sizes are an
+// engineering extra that lets experiments also report bytes on the wire.
+//
+// A payload is a monotone bit vector (a progress-tree snapshot or a
+// done-job set). The encoding is a varint header (version, kind, length)
+// followed by the bit words, with an RLE fast path for the common
+// mostly-zero/mostly-one cases.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"doall/internal/bitset"
+)
+
+// Kind tags what a payload describes.
+type Kind uint8
+
+// Payload kinds.
+const (
+	// KindTree is a DA progress-tree snapshot (bits = tree nodes).
+	KindTree Kind = 1
+	// KindDoneSet is a PA done-job set (bits = jobs).
+	KindDoneSet Kind = 2
+)
+
+const version = 1
+
+// Encoding selects the body layout.
+type encoding uint8
+
+const (
+	encRaw encoding = 0 // words verbatim
+	encRLE encoding = 1 // run-length encoded words
+)
+
+// ErrCorrupt is returned for malformed messages.
+var ErrCorrupt = errors.New("wire: corrupt message")
+
+// Encode serializes a bit set with its kind, choosing the smaller of the
+// raw and RLE encodings.
+func Encode(kind Kind, s *bitset.Set) []byte {
+	raw := encodeBody(encRaw, s)
+	rle := encodeBody(encRLE, s)
+	body := raw
+	enc := encRaw
+	if len(rle) < len(raw) {
+		body, enc = rle, encRLE
+	}
+
+	header := make([]byte, 0, 16)
+	header = append(header, version, byte(kind), byte(enc))
+	header = binary.AppendUvarint(header, uint64(s.Len()))
+	return append(header, body...)
+}
+
+func encodeBody(enc encoding, s *bitset.Set) []byte {
+	words := s.Words()
+	switch enc {
+	case encRaw:
+		out := make([]byte, 0, 8*len(words))
+		for _, w := range words {
+			out = binary.LittleEndian.AppendUint64(out, w)
+		}
+		return out
+	case encRLE:
+		// Runs of identical words: (count varint, word).
+		var out []byte
+		for i := 0; i < len(words); {
+			j := i
+			for j < len(words) && words[j] == words[i] {
+				j++
+			}
+			out = binary.AppendUvarint(out, uint64(j-i))
+			out = binary.LittleEndian.AppendUint64(out, words[i])
+			i = j
+		}
+		return out
+	default:
+		panic("wire: unknown encoding")
+	}
+}
+
+// Decode parses a message produced by Encode.
+func Decode(msg []byte) (Kind, *bitset.Set, error) {
+	if len(msg) < 4 {
+		return 0, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if msg[0] != version {
+		return 0, nil, fmt.Errorf("%w: version %d", ErrCorrupt, msg[0])
+	}
+	kind := Kind(msg[1])
+	if kind != KindTree && kind != KindDoneSet {
+		return 0, nil, fmt.Errorf("%w: kind %d", ErrCorrupt, msg[1])
+	}
+	enc := encoding(msg[2])
+	rest := msg[3:]
+	n64, consumed := binary.Uvarint(rest)
+	if consumed <= 0 || n64 > 1<<40 {
+		return 0, nil, fmt.Errorf("%w: bad length", ErrCorrupt)
+	}
+	n := int(n64)
+	rest = rest[consumed:]
+
+	nWords := (n + 63) / 64
+	words := make([]uint64, 0, nWords)
+	switch enc {
+	case encRaw:
+		if len(rest) != 8*nWords {
+			return 0, nil, fmt.Errorf("%w: raw body %d bytes, want %d", ErrCorrupt, len(rest), 8*nWords)
+		}
+		for i := 0; i < nWords; i++ {
+			words = append(words, binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+	case encRLE:
+		for len(rest) > 0 {
+			count, c := binary.Uvarint(rest)
+			if c <= 0 || count == 0 || count > uint64(nWords) {
+				return 0, nil, fmt.Errorf("%w: bad run length", ErrCorrupt)
+			}
+			rest = rest[c:]
+			if len(rest) < 8 {
+				return 0, nil, fmt.Errorf("%w: truncated run word", ErrCorrupt)
+			}
+			w := binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+			for k := uint64(0); k < count; k++ {
+				words = append(words, w)
+			}
+			if len(words) > nWords {
+				return 0, nil, fmt.Errorf("%w: run overflow", ErrCorrupt)
+			}
+		}
+		if len(words) != nWords {
+			return 0, nil, fmt.Errorf("%w: rle body decoded %d words, want %d", ErrCorrupt, len(words), nWords)
+		}
+	default:
+		return 0, nil, fmt.Errorf("%w: encoding %d", ErrCorrupt, enc)
+	}
+
+	s := bitset.New(n)
+	if nWords > 0 {
+		s.SetWords(words)
+	}
+	return kind, s, nil
+}
+
+// Size returns the encoded size in bytes of a payload without allocating
+// the full message (used by the simulator's byte accounting).
+func Size(kind Kind, s *bitset.Set) int {
+	return len(Encode(kind, s))
+}

@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doall/internal/bitset"
+)
+
+func TestRoundTripEmpty(t *testing.T) {
+	s := bitset.New(0)
+	msg := Encode(KindDoneSet, s)
+	kind, got, err := Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindDoneSet || got.Len() != 0 {
+		t.Fatalf("kind=%v len=%d", kind, got.Len())
+	}
+}
+
+func TestRoundTripPatterns(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 128, 1000} {
+		for _, fill := range []string{"none", "all", "alt", "first", "last"} {
+			s := bitset.New(n)
+			for i := 0; i < n; i++ {
+				switch fill {
+				case "all":
+					s.Set(i)
+				case "alt":
+					if i%2 == 0 {
+						s.Set(i)
+					}
+				case "first":
+					if i == 0 {
+						s.Set(i)
+					}
+				case "last":
+					if i == n-1 {
+						s.Set(i)
+					}
+				}
+			}
+			msg := Encode(KindTree, s)
+			kind, got, err := Decode(msg)
+			if err != nil {
+				t.Fatalf("n=%d fill=%s: %v", n, fill, err)
+			}
+			if kind != KindTree || !got.Equal(s) {
+				t.Fatalf("n=%d fill=%s: round trip mismatch", n, fill)
+			}
+		}
+	}
+}
+
+func TestRLEWinsOnUniform(t *testing.T) {
+	// A large all-zero set must compress far below raw 8 bytes/word.
+	s := bitset.New(64 * 100)
+	msg := Encode(KindDoneSet, s)
+	if len(msg) > 40 {
+		t.Fatalf("uniform set encoded to %d bytes; RLE should compress it", len(msg))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s := bitset.New(100)
+	s.Set(3)
+	msg := Encode(KindTree, s)
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        msg[:2],
+		"bad version":  append([]byte{99}, msg[1:]...),
+		"bad kind":     append([]byte{version, 77}, msg[2:]...),
+		"bad encoding": append([]byte{version, byte(KindTree), 9}, msg[3:]...),
+		"truncated":    msg[:len(msg)-1],
+	}
+	for name, bad := range cases {
+		if _, _, err := Decode(bad); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestSizeMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(500)
+		s := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				s.Set(i)
+			}
+		}
+		if Size(KindDoneSet, s) != len(Encode(KindDoneSet, s)) {
+			t.Fatal("Size disagrees with Encode")
+		}
+	}
+}
+
+// Property: every random set round-trips under both kinds.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16, kindRaw bool) bool {
+		n := int(nRaw%2000) + 1
+		r := rand.New(rand.NewSource(seed))
+		s := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 1 {
+				s.Set(i)
+			}
+		}
+		kind := KindTree
+		if kindRaw {
+			kind = KindDoneSet
+		}
+		k2, got, err := Decode(Encode(kind, s))
+		return err == nil && k2 == kind && got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding never panics on random garbage.
+func TestQuickDecodeRobustness(t *testing.T) {
+	f := func(garbage []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Error("Decode panicked")
+			}
+		}()
+		_, _, _ = Decode(garbage)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
