@@ -188,6 +188,60 @@ func BenchmarkSimulatorSteps(b *testing.B) {
 	}
 }
 
+// Engine benchmarks: the multicast-native engine (sim.Run) against the
+// per-message legacy engine (sim.RunLegacy) on broadcast-heavy configs.
+// Machines are rebuilt outside the timer so the numbers isolate engine
+// throughput; run with -benchmem to see the O(p) → O(1) amortized
+// allocation drop per multicast.
+func benchEngine(b *testing.B, engine func(sim.Config, []sim.Machine, sim.Adversary) (*sim.Result, error), p, t int, d int64) {
+	b.Helper()
+	var work int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ms, err := harness.BuildMachines(harness.Spec{Algo: harness.AlgoPaRan1, P: p, T: t, D: d, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := adversary.NewFair(d)
+		b.StartTimer()
+		res, err := engine(sim.Config{P: p, T: t}, ms, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work = res.Work
+	}
+	b.ReportMetric(float64(work), "work")
+}
+
+// The ISSUE-1 acceptance config: broadcast-heavy PA at p=256, t=1024,
+// d=8. The multicast engine must beat the legacy engine ≥ 5×.
+func BenchmarkEngineMulticastPA256(b *testing.B) { benchEngine(b, sim.Run, 256, 1024, 8) }
+func BenchmarkEngineLegacyPA256(b *testing.B)    { benchEngine(b, sim.RunLegacy, 256, 1024, 8) }
+
+// A mid-size point for quicker regression tracking.
+func BenchmarkEngineMulticastPA64(b *testing.B) { benchEngine(b, sim.Run, 64, 512, 4) }
+func BenchmarkEngineLegacyPA64(b *testing.B)    { benchEngine(b, sim.RunLegacy, 64, 512, 4) }
+
+// BenchmarkSweepRunner exercises the sharded (p, t, d, algo) sweep used
+// for the BENCH_*.json baselines on a small grid.
+func BenchmarkSweepRunner(b *testing.B) {
+	cfg := harness.SweepConfig{
+		Algos:    []harness.Algo{harness.AlgoPaRan1, harness.AlgoDA},
+		Ps:       []int{8, 16},
+		Ts:       []int{64},
+		Ds:       []int64{1, 4},
+		BaseSeed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		cells := harness.RunSweep(cfg)
+		for _, c := range cells {
+			if c.Err != "" {
+				b.Fatalf("cell %+v failed: %s", c, c.Err)
+			}
+		}
+	}
+}
+
 func BenchmarkDLRM(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	p := perm.Random(1024, r)

@@ -8,12 +8,21 @@
 //	experiments -scale full      # the sizes used in EXPERIMENTS.md
 //	experiments -markdown        # Markdown output
 //	experiments -only E5,E6      # subset
+//
+// It is also the front-end of the sharded sweep runner, which fans a
+// (p, t, d, algorithm) grid across GOMAXPROCS workers with deterministic
+// per-cell seeds and emits a JSON perf report (the BENCH_*.json schema):
+//
+//	experiments -sweep                              # default grid to stdout
+//	experiments -sweep -out BENCH_0.json            # write the baseline file
+//	experiments -sweep -algos PaRan1,DA -p 64,256 -t 1024 -d 1,8,64 -trials 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"doall/internal/harness"
@@ -31,8 +40,23 @@ func run() error {
 		scale    = flag.String("scale", "quick", "experiment scale: quick or full")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
 		only     = flag.String("only", "", "comma-separated experiment ids to run (default all)")
+
+		sweep   = flag.Bool("sweep", false, "run the sharded (p,t,d,algo) sweep instead of E1–E10")
+		out     = flag.String("out", "", "sweep: write the JSON report to this file (default stdout)")
+		algos   = flag.String("algos", "AllToAll,DA,PaRan1,PaDet", "sweep: comma-separated algorithms")
+		ps      = flag.String("p", "16,64,256", "sweep: comma-separated processor counts")
+		ts      = flag.String("t", "256,1024", "sweep: comma-separated task counts")
+		ds      = flag.String("d", "1,8,64", "sweep: comma-separated delay bounds")
+		adv     = flag.String("adv", string(harness.AdvFair), "sweep: adversary (fair, random, ...)")
+		trials  = flag.Int("trials", 1, "sweep: runs per cell (averaged)")
+		workers = flag.Int("workers", 0, "sweep: worker goroutines (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 0, "sweep: base seed for per-cell seed derivation")
 	)
 	flag.Parse()
+
+	if *sweep {
+		return runSweep(*algos, *ps, *ts, *ds, *adv, *trials, *workers, *seed, *out)
+	}
 
 	sc := harness.Quick
 	switch *scale {
@@ -65,4 +89,73 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+func runSweep(algos, ps, ts, ds, adv string, trials, workers int, seed int64, out string) error {
+	cfg := harness.SweepConfig{
+		Adversary: harness.Adv(adv),
+		BaseSeed:  seed,
+		Trials:    trials,
+		Workers:   workers,
+	}
+	for _, a := range splitList(algos) {
+		cfg.Algos = append(cfg.Algos, harness.Algo(a))
+	}
+	var err error
+	if cfg.Ps, err = parseInts(ps); err != nil {
+		return fmt.Errorf("-p: %w", err)
+	}
+	if cfg.Ts, err = parseInts(ts); err != nil {
+		return fmt.Errorf("-t: %w", err)
+	}
+	dvals, err := parseInts(ds)
+	if err != nil {
+		return fmt.Errorf("-d: %w", err)
+	}
+	for _, d := range dvals {
+		cfg.Ds = append(cfg.Ds, int64(d))
+	}
+	// Reject unknown algorithms/adversaries before burning sweep time.
+	if _, err := harness.BuildAdversary(harness.Spec{Adversary: cfg.Adversary}); err != nil {
+		return err
+	}
+	for _, a := range cfg.Algos {
+		if _, err := harness.BuildMachines(harness.Spec{Algo: a, P: 2, T: 2, D: 1, Seed: 1}); err != nil {
+			return err
+		}
+	}
+
+	rep := harness.NewSweepReport(cfg)
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return rep.WriteJSON(w)
+}
+
+func splitList(s string) []string {
+	var items []string
+	for _, it := range strings.Split(s, ",") {
+		if it = strings.TrimSpace(it); it != "" {
+			items = append(items, it)
+		}
+	}
+	return items
+}
+
+func parseInts(s string) ([]int, error) {
+	var vals []int
+	for _, it := range splitList(s) {
+		v, err := strconv.Atoi(it)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
 }

@@ -58,6 +58,19 @@ type (
 	// Adversary controls asynchrony in the simulator: per-unit scheduling,
 	// crashes, and per-message delays up to its bound D().
 	Adversary = sim.Adversary
+	// MulticastDelayer is the optional Adversary extension that answers a
+	// whole broadcast's delays in one call; the engine adapts adversaries
+	// that lack it, at one Delay call per recipient.
+	MulticastDelayer = sim.MulticastDelayer
+	// Decision is an adversary's per-unit scheduling choice, including the
+	// optional NextWake idle-fast-forward promise.
+	Decision = sim.Decision
+	// View is the adversary's omniscient per-unit picture of the system.
+	View = sim.View
+	// Payload is the optional wire-size-aware payload interface; payload
+	// values are shared, uncopied, by every recipient of a multicast and
+	// must be immutable once sent.
+	Payload = sim.Payload
 	// Result carries the measured complexities of a simulated execution.
 	Result = sim.Result
 	// SimConfig configures Simulate.
@@ -76,9 +89,19 @@ type (
 
 // Simulate runs machines under the adversary in the deterministic
 // simulator and returns exact work/message/time measurements
-// (Definitions 2.1–2.2 of the paper).
+// (Definitions 2.1–2.2 of the paper). It uses the multicast-native
+// engine: one broadcast is one stored Multicast plus one timing-wheel
+// event, so large (p, t, d) sweeps run orders of magnitude faster than
+// under the per-message legacy engine while producing identical Results.
 func Simulate(cfg SimConfig, machines []Machine, adv Adversary) (*Result, error) {
 	return sim.Run(cfg, machines, adv)
+}
+
+// SimulateLegacy runs the original per-message reference engine. It is
+// kept for equivalence checking and engine benchmarking; Results are
+// identical to Simulate's on every algorithm × adversary pair.
+func SimulateLegacy(cfg SimConfig, machines []Machine, adv Adversary) (*Result, error) {
+	return sim.RunLegacy(cfg, machines, adv)
 }
 
 // Execute runs machines on real goroutines with delayed channels; cfg.Task

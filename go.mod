@@ -1,0 +1,3 @@
+module doall
+
+go 1.21

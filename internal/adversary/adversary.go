@@ -21,7 +21,10 @@ type Fair struct {
 	all   []int
 }
 
-var _ sim.Adversary = (*Fair)(nil)
+var (
+	_ sim.Adversary        = (*Fair)(nil)
+	_ sim.MulticastDelayer = (*Fair)(nil)
+)
 
 // NewFair returns a Fair adversary with delay bound d that delays every
 // message by exactly d.
@@ -49,6 +52,15 @@ func (a *Fair) Delay(from, to int, sentAt int64) int64 {
 	return a.Bound
 }
 
+// DelayMulticast implements sim.MulticastDelayer: one call answers a whole
+// broadcast with the uniform fixed delay.
+func (a *Fair) DelayMulticast(from int, sentAt int64, out []int64) {
+	d := a.Delay(from, from, sentAt)
+	for j := range out {
+		out[j] = d
+	}
+}
+
 // Random is a d-adversary that activates each processor independently with
 // probability Activity each unit and delays each message uniformly in
 // [1, d]. It models "disparate processor speeds and varying message
@@ -61,7 +73,10 @@ type Random struct {
 	scratch  []int
 }
 
-var _ sim.Adversary = (*Random)(nil)
+var (
+	_ sim.Adversary        = (*Random)(nil)
+	_ sim.MulticastDelayer = (*Random)(nil)
+)
 
 // NewRandom returns a Random adversary with delay bound d, per-unit
 // activation probability activity, and the given seed.
@@ -100,6 +115,18 @@ func (a *Random) Delay(from, to int, sentAt int64) int64 {
 	return 1 + a.rng.Int63n(a.Bound)
 }
 
+// DelayMulticast implements sim.MulticastDelayer. It draws delays in
+// ascending recipient order, consuming the random stream exactly as the
+// per-recipient Delay loop would, so both engine paths are replayable
+// against each other.
+func (a *Random) DelayMulticast(from int, sentAt int64, out []int64) {
+	for j := range out {
+		if j != from {
+			out[j] = 1 + a.rng.Int63n(a.Bound)
+		}
+	}
+}
+
 // CrashEvent schedules processor Pid to crash at time At.
 type CrashEvent struct {
 	Pid int
@@ -115,7 +142,10 @@ type Crashing struct {
 	Events []CrashEvent
 }
 
-var _ sim.Adversary = (*Crashing)(nil)
+var (
+	_ sim.Adversary        = (*Crashing)(nil)
+	_ sim.MulticastDelayer = (*Crashing)(nil)
+)
 
 // NewCrashing wraps inner with the given crash schedule.
 func NewCrashing(inner sim.Adversary, events []CrashEvent) *Crashing {
@@ -125,7 +155,11 @@ func NewCrashing(inner sim.Adversary, events []CrashEvent) *Crashing {
 // D implements sim.Adversary.
 func (a *Crashing) D() int64 { return a.Inner.D() }
 
-// Schedule implements sim.Adversary.
+// Schedule implements sim.Adversary. Crash injection is a Schedule side
+// effect tied to exact times, so any NextWake idle promise inherited from
+// the inner adversary is clamped to the next pending crash event —
+// otherwise the engine's fast-forward would jump over the event's time
+// unit and silently drop the crash.
 func (a *Crashing) Schedule(v *sim.View) sim.Decision {
 	dec := a.Inner.Schedule(v)
 	live := 0
@@ -139,6 +173,9 @@ func (a *Crashing) Schedule(v *sim.View) sim.Decision {
 			dec.Crash = append(dec.Crash, e.Pid)
 			live--
 		}
+		if dec.NextWake > 0 && e.At > v.Now && e.At < dec.NextWake && !v.Crashed[e.Pid] {
+			dec.NextWake = e.At
+		}
 	}
 	return dec
 }
@@ -146,6 +183,21 @@ func (a *Crashing) Schedule(v *sim.View) sim.Decision {
 // Delay implements sim.Adversary.
 func (a *Crashing) Delay(from, to int, sentAt int64) int64 {
 	return a.Inner.Delay(from, to, sentAt)
+}
+
+// DelayMulticast implements sim.MulticastDelayer, forwarding to the inner
+// adversary's batched path when it has one and adapting its per-recipient
+// Delay otherwise.
+func (a *Crashing) DelayMulticast(from int, sentAt int64, out []int64) {
+	if md, ok := a.Inner.(sim.MulticastDelayer); ok {
+		md.DelayMulticast(from, sentAt, out)
+		return
+	}
+	for j := range out {
+		if j != from {
+			out[j] = a.Inner.Delay(from, j, sentAt)
+		}
+	}
 }
 
 // SlowSet is a d-adversary that runs a designated subset of processors at
@@ -159,7 +211,10 @@ type SlowSet struct {
 	buf    []int
 }
 
-var _ sim.Adversary = (*SlowSet)(nil)
+var (
+	_ sim.Adversary        = (*SlowSet)(nil)
+	_ sim.MulticastDelayer = (*SlowSet)(nil)
+)
 
 // NewSlowSet returns a SlowSet adversary: processors in slow take one step
 // every period units.
@@ -174,7 +229,9 @@ func NewSlowSet(d int64, slow []int, period int64) *SlowSet {
 // D implements sim.Adversary.
 func (a *SlowSet) D() int64 { return a.Bound }
 
-// Schedule implements sim.Adversary.
+// Schedule implements sim.Adversary. When every processor is in the slow
+// set and off-period (nothing can step), the decision carries a NextWake
+// promise so the engine fast-forwards to the next period boundary.
 func (a *SlowSet) Schedule(v *sim.View) sim.Decision {
 	a.buf = a.buf[:0]
 	for i := 0; i < v.P; i++ {
@@ -183,8 +240,19 @@ func (a *SlowSet) Schedule(v *sim.View) sim.Decision {
 		}
 		a.buf = append(a.buf, i)
 	}
-	return sim.Decision{Active: a.buf}
+	dec := sim.Decision{Active: a.buf}
+	if len(a.buf) == 0 {
+		dec.NextWake = (v.Now/a.Period + 1) * a.Period
+	}
+	return dec
 }
 
 // Delay implements sim.Adversary.
 func (a *SlowSet) Delay(from, to int, sentAt int64) int64 { return a.Bound }
+
+// DelayMulticast implements sim.MulticastDelayer.
+func (a *SlowSet) DelayMulticast(from int, sentAt int64, out []int64) {
+	for j := range out {
+		out[j] = a.Bound
+	}
+}

@@ -1,0 +1,112 @@
+package adversary
+
+import (
+	"testing"
+
+	"doall/internal/sim"
+)
+
+// assertBatchedMatchesLoop checks the MulticastDelayer contract: for
+// adversaries built identically, one DelayMulticast call must yield the
+// same delays as the per-recipient Delay loop, in-range, including any
+// random stream consumption.
+func assertBatchedMatchesLoop(t *testing.T, name string, mkLoop, mkBatch func() sim.Adversary, p int, rounds int) {
+	t.Helper()
+	loopAdv, batchAdv := mkLoop(), mkBatch()
+	md, ok := batchAdv.(sim.MulticastDelayer)
+	if !ok {
+		t.Fatalf("%s does not implement MulticastDelayer", name)
+	}
+	out := make([]int64, p)
+	for sentAt := int64(0); sentAt < int64(rounds); sentAt++ {
+		from := int(sentAt) % p
+		md.DelayMulticast(from, sentAt, out)
+		for j := 0; j < p; j++ {
+			if j == from {
+				continue
+			}
+			want := loopAdv.Delay(from, j, sentAt)
+			if out[j] != want {
+				t.Fatalf("%s: sentAt=%d recipient %d: batched %d != loop %d", name, sentAt, j, out[j], want)
+			}
+			if out[j] < 1 || out[j] > loopAdv.D() {
+				t.Fatalf("%s: delay %d outside [1,%d]", name, out[j], loopAdv.D())
+			}
+		}
+	}
+}
+
+func TestDelayMulticastMatchesDelayLoop(t *testing.T) {
+	const p, rounds = 7, 12
+	cases := []struct {
+		name            string
+		mkLoop, mkBatch func() sim.Adversary
+	}{
+		{"fair", func() sim.Adversary { return NewFair(4) }, func() sim.Adversary { return NewFair(4) }},
+		{"random",
+			func() sim.Adversary { return NewRandom(6, 0.5, 99) },
+			func() sim.Adversary { return NewRandom(6, 0.5, 99) }},
+		{"crashing-wrapping-random",
+			func() sim.Adversary { return NewCrashing(NewRandom(6, 0.5, 42), nil) },
+			func() sim.Adversary { return NewCrashing(NewRandom(6, 0.5, 42), nil) }},
+		{"slowset",
+			func() sim.Adversary { return NewSlowSet(3, []int{1}, 2) },
+			func() sim.Adversary { return NewSlowSet(3, []int{1}, 2) }},
+		{"stage-det",
+			func() sim.Adversary { return NewStageDeterministic(4, 60) },
+			func() sim.Adversary { return NewStageDeterministic(4, 60) }},
+		{"stage-online",
+			func() sim.Adversary { return NewStageOnline(4, 60) },
+			func() sim.Adversary { return NewStageOnline(4, 60) }},
+	}
+	for _, c := range cases {
+		assertBatchedMatchesLoop(t, c.name, c.mkLoop, c.mkBatch, p, rounds)
+	}
+}
+
+// TestCrashingAdaptsNonBatchedInner checks the compatibility adapter: an
+// inner adversary without DelayMulticast still works through Crashing's
+// batched path via per-recipient Delay calls.
+func TestCrashingAdaptsNonBatchedInner(t *testing.T) {
+	inner := &plainDelayAdv{d: 5}
+	wrapped := NewCrashing(inner, nil)
+	out := make([]int64, 4)
+	wrapped.DelayMulticast(1, 10, out)
+	for j, got := range out {
+		if j == 1 {
+			continue
+		}
+		if want := inner.Delay(1, j, 10); got != want {
+			t.Fatalf("recipient %d: %d != %d", j, got, want)
+		}
+	}
+}
+
+// plainDelayAdv implements only the base Adversary interface.
+type plainDelayAdv struct{ d int64 }
+
+func (a *plainDelayAdv) D() int64                          { return a.d }
+func (a *plainDelayAdv) Schedule(v *sim.View) sim.Decision { return sim.Decision{} }
+func (a *plainDelayAdv) Delay(from, to int, sentAt int64) int64 {
+	return 1 + (int64(to)+sentAt)%a.d
+}
+
+// TestSlowSetAllSlowFastForwards checks the NextWake promise: with every
+// processor slow, off-period decisions must announce the next period
+// boundary so the engine can skip the idle units.
+func TestSlowSetAllSlowFastForwards(t *testing.T) {
+	a := NewSlowSet(2, []int{0, 1}, 10)
+	v := &sim.View{Now: 3, P: 2, Crashed: make([]bool, 2), Halted: make([]bool, 2)}
+	dec := a.Schedule(v)
+	if len(dec.Active) != 0 {
+		t.Fatalf("off-period schedule activated %v", dec.Active)
+	}
+	if dec.NextWake != 10 {
+		t.Fatalf("NextWake = %d, want 10", dec.NextWake)
+	}
+	v.Now = 10
+	dec = a.Schedule(v)
+	if len(dec.Active) != 2 {
+		t.Fatalf("on-period schedule = %v, want both", dec.Active)
+	}
+}

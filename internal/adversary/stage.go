@@ -68,14 +68,17 @@ type StageDeterministic struct {
 	// maxStages caps adversarial stages so executions terminate.
 	maxStages int64
 	// delayed[i] reports that processor i is delayed for the current stage.
-	delayed []bool
+	delayed  []bool
 	curStage int64
 	active   []int
 	// Stages counts adversarial stages actually executed (for reporting).
 	Stages int64
 }
 
-var _ sim.Adversary = (*StageDeterministic)(nil)
+var (
+	_ sim.Adversary        = (*StageDeterministic)(nil)
+	_ sim.MulticastDelayer = (*StageDeterministic)(nil)
+)
 
 // NewStageDeterministic builds the Theorem 3.1 adversary for t tasks and
 // delay bound d.
@@ -98,7 +101,18 @@ func (a *StageDeterministic) Delay(from, to int, sentAt int64) int64 {
 	return a.clock.delayToStageEnd(sentAt)
 }
 
-// Schedule implements sim.Adversary.
+// DelayMulticast implements sim.MulticastDelayer: every recipient of a
+// multicast shares the same stage-boundary delivery time.
+func (a *StageDeterministic) DelayMulticast(from int, sentAt int64, out []int64) {
+	d := a.clock.delayToStageEnd(sentAt)
+	for j := range out {
+		out[j] = d
+	}
+}
+
+// Schedule implements sim.Adversary. When the construction has delayed
+// every live processor for the rest of the stage, the decision promises
+// idleness until the stage boundary so the engine can fast-forward.
 func (a *StageDeterministic) Schedule(v *sim.View) sim.Decision {
 	if len(a.delayed) != v.P {
 		a.delayed = make([]bool, v.P)
@@ -114,7 +128,11 @@ func (a *StageDeterministic) Schedule(v *sim.View) sim.Decision {
 			a.active = append(a.active, i)
 		}
 	}
-	return sim.Decision{Active: a.active}
+	dec := sim.Decision{Active: a.active}
+	if len(a.active) == 0 {
+		dec.NextWake = (a.clock.stage(v.Now) + 1) * a.clock.L
+	}
+	return dec
 }
 
 // planStage performs the look-ahead and chooses the delayed set.
@@ -224,7 +242,10 @@ type StageOnline struct {
 	Stages int64
 }
 
-var _ sim.Adversary = (*StageOnline)(nil)
+var (
+	_ sim.Adversary        = (*StageOnline)(nil)
+	_ sim.MulticastDelayer = (*StageOnline)(nil)
+)
 
 // NewStageOnline builds the Theorem 3.4 adversary for t tasks and delay
 // bound d.
@@ -245,6 +266,14 @@ func (a *StageOnline) D() int64 { return a.Bound }
 // Delay implements sim.Adversary.
 func (a *StageOnline) Delay(from, to int, sentAt int64) int64 {
 	return a.clock.delayToStageEnd(sentAt)
+}
+
+// DelayMulticast implements sim.MulticastDelayer.
+func (a *StageOnline) DelayMulticast(from int, sentAt int64, out []int64) {
+	d := a.clock.delayToStageEnd(sentAt)
+	for j := range out {
+		out[j] = d
+	}
 }
 
 // Schedule implements sim.Adversary.
@@ -273,7 +302,13 @@ func (a *StageOnline) Schedule(v *sim.View) sim.Decision {
 		}
 		a.active = append(a.active, i)
 	}
-	return sim.Decision{Active: a.active}
+	dec := sim.Decision{Active: a.active}
+	if len(a.active) == 0 {
+		// Everyone is delayed to the stage boundary: promise idleness so
+		// the engine fast-forwards instead of ticking through the stage.
+		dec.NextWake = (a.clock.stage(v.Now) + 1) * a.clock.L
+	}
+	return dec
 }
 
 func (a *StageOnline) planStage(v *sim.View) {

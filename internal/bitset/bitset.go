@@ -130,6 +130,29 @@ func (s *Set) ToBools() []bool {
 	return out
 }
 
+// NextSet returns the index of the first set bit at or after from, or -1
+// if none. Iterating set bits with NextSet costs O(words), not O(n):
+//
+//	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) { ... }
+func (s *Set) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from >> 6
+	if w := s.words[wi] >> (uint(from) & 63); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := s.words[wi]; w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // NextClear returns the index of the first clear bit at or after from, or
 // -1 if none.
 func (s *Set) NextClear(from int) int {

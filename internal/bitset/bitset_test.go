@@ -207,3 +207,32 @@ func TestQuickCount(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	if got := s.NextSet(0); got != -1 {
+		t.Fatalf("NextSet on empty set = %d, want -1", got)
+	}
+	for _, i := range []int{0, 63, 64, 130, 199} {
+		s.Set(i)
+	}
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	want := []int{0, 63, 64, 130, 199}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	if s.NextSet(200) != -1 || s.NextSet(-5) != 0 {
+		t.Fatal("boundary handling wrong")
+	}
+	if got := s.NextSet(65); got != 130 {
+		t.Fatalf("NextSet(65) = %d, want 130", got)
+	}
+}

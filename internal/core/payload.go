@@ -2,15 +2,24 @@ package core
 
 import (
 	"doall/internal/bitset"
+	"doall/internal/sim"
 	"doall/internal/wire"
 )
 
-// Sizer is implemented by payloads that know their encoded wire size; the
-// simulator uses it for byte accounting (message *count* remains the
-// paper's complexity measure).
-type Sizer interface {
-	WireSize() int
-}
+// Sizer is the wire-size-aware payload interface consumed by the
+// simulation engine: the engine queries WireSize once per multicast for
+// byte accounting (message *count* remains the paper's complexity
+// measure) and shares the payload value, uncopied, with every recipient.
+// It is an alias of sim.Payload so core payload types satisfy the engine
+// contract by construction; implementations must be immutable once sent.
+type Sizer = sim.Payload
+
+// The multicast payloads are shared across recipients without copying,
+// so they must satisfy the engine's payload contract.
+var (
+	_ sim.Payload = TreeSnapshot{}
+	_ sim.Payload = DoneSet{}
+)
 
 // TreeSnapshot is the DA multicast payload: a snapshot of the sender's
 // progress-tree bits. Receivers must treat it as immutable (it is shared

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"doall/internal/adversary"
+	"doall/internal/sim"
+)
+
+// TestEngineEquivalence asserts the tentpole contract of the multicast-
+// native engine: for every algorithm × adversary pair, sim.Run reproduces
+// sim.RunLegacy's Result exactly — Work, Messages, SolvedAt, primary and
+// secondary executions, byte volume, per-processor work, everything.
+// Machines and adversaries are rebuilt from identical seeds for each
+// engine so both executions start from identical state.
+func TestEngineEquivalence(t *testing.T) {
+	algos := []Algo{AlgoAllToAll, AlgoObliDo, AlgoDA, AlgoPaRan1, AlgoPaRan2, AlgoPaDet}
+	sizes := []struct{ p, t int }{{2, 8}, {5, 16}, {16, 64}}
+	advs := []string{"fair", "random", "crash-fair", "crash-random", "slow-all", "crash-slow-all", "crash-stage-det", "stage-det", "stage-online"}
+
+	for _, algo := range algos {
+		for _, size := range sizes {
+			for _, d := range []int64{1, 3} {
+				for _, advName := range advs {
+					spec := Spec{Algo: algo, P: size.p, T: size.t, D: d, Seed: 17}
+					name := fmt.Sprintf("%s/p%d-t%d-d%d/%s", algo, size.p, size.t, d, advName)
+					t.Run(name, func(t *testing.T) {
+						legacy, errL := runEquivCase(spec, advName, sim.RunLegacy)
+						fresh, errN := runEquivCase(spec, advName, sim.Run)
+						if (errL == nil) != (errN == nil) {
+							t.Fatalf("error mismatch: legacy=%v new=%v", errL, errN)
+						}
+						if !reflect.DeepEqual(legacy, fresh) {
+							t.Fatalf("Result diverged:\nlegacy: %+v\nnew:    %+v", legacy, fresh)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// runEquivCase builds fresh machines and a fresh adversary for the spec
+// and executes them with the given engine.
+func runEquivCase(s Spec, advName string, engine func(sim.Config, []sim.Machine, sim.Adversary) (*sim.Result, error)) (*sim.Result, error) {
+	ms, err := BuildMachines(s)
+	if err != nil {
+		return nil, fmt.Errorf("build machines: %w", err)
+	}
+	adv, err := buildEquivAdversary(s, advName)
+	if err != nil {
+		return nil, err
+	}
+	return engine(sim.Config{P: s.P, T: s.T}, ms, adv)
+}
+
+func buildEquivAdversary(s Spec, advName string) (sim.Adversary, error) {
+	crashes := []adversary.CrashEvent{{Pid: 0, At: 1}, {Pid: s.P - 1, At: 3}}
+	switch advName {
+	case "fair":
+		return adversary.NewFair(s.D), nil
+	case "random":
+		return adversary.NewRandom(s.D, 0.6, s.Seed^0xbeef), nil
+	case "crash-fair":
+		return adversary.NewCrashing(adversary.NewFair(s.D), crashes), nil
+	case "crash-random":
+		return adversary.NewCrashing(adversary.NewRandom(s.D, 0.6, s.Seed^0xbeef), crashes), nil
+	case "slow-all":
+		// Every processor slow: the schedule is empty off-period, so the
+		// new engine's idle fast-forward engages and must stay exact.
+		slow := make([]int, s.P)
+		for i := range slow {
+			slow[i] = i
+		}
+		return adversary.NewSlowSet(s.D, slow, 5), nil
+	case "crash-slow-all":
+		// Crash events timed inside the idle stretches of an all-slow
+		// schedule (period 5, crashes at t=1 and t=3): the fast-forward
+		// must not jump over them (Crashing clamps NextWake).
+		slow := make([]int, s.P)
+		for i := range slow {
+			slow[i] = i
+		}
+		return adversary.NewCrashing(adversary.NewSlowSet(s.D, slow, 5), crashes), nil
+	case "crash-stage-det":
+		return adversary.NewCrashing(adversary.NewStageDeterministic(s.D, s.T), crashes), nil
+	case "stage-det":
+		return adversary.NewStageDeterministic(s.D, s.T), nil
+	case "stage-online":
+		return adversary.NewStageOnline(s.D, s.T), nil
+	}
+	return nil, fmt.Errorf("unknown equivalence adversary %q", advName)
+}
+
+// TestEngineEquivalenceNonUniformDelays drives the engine's per-recipient
+// scheduling path (non-uniform delays within one multicast) explicitly:
+// a delay that depends on the recipient id defeats the uniform-delay
+// single-event fast path.
+func TestEngineEquivalenceNonUniformDelays(t *testing.T) {
+	for _, algo := range []Algo{AlgoDA, AlgoPaRan1, AlgoPaDet} {
+		spec := Spec{Algo: algo, P: 8, T: 32, D: 5, Seed: 23}
+		build := func() ([]sim.Machine, sim.Adversary, error) {
+			ms, err := BuildMachines(spec)
+			return ms, &recipientSkewAdv{d: spec.D}, err
+		}
+		msL, advL, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, errL := sim.RunLegacy(sim.Config{P: spec.P, T: spec.T}, msL, advL)
+		msN, advN, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, errN := sim.Run(sim.Config{P: spec.P, T: spec.T}, msN, advN)
+		if (errL == nil) != (errN == nil) {
+			t.Fatalf("%s: error mismatch: legacy=%v new=%v", algo, errL, errN)
+		}
+		if !reflect.DeepEqual(legacy, fresh) {
+			t.Fatalf("%s: Result diverged:\nlegacy: %+v\nnew:    %+v", algo, legacy, fresh)
+		}
+	}
+}
+
+// recipientSkewAdv schedules everyone and delays each message by a
+// deterministic function of the recipient, so one multicast fans out to
+// several delivery times.
+type recipientSkewAdv struct {
+	d   int64
+	all []int
+}
+
+func (a *recipientSkewAdv) D() int64 { return a.d }
+
+func (a *recipientSkewAdv) Schedule(v *sim.View) sim.Decision {
+	if len(a.all) != v.P {
+		a.all = make([]int, v.P)
+		for i := range a.all {
+			a.all[i] = i
+		}
+	}
+	return sim.Decision{Active: a.all}
+}
+
+func (a *recipientSkewAdv) Delay(from, to int, sentAt int64) int64 {
+	return 1 + (int64(to)+sentAt)%a.d
+}

@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"fmt"
+
+	"doall/internal/bitset"
+)
+
+// Run executes machines under the adversary and returns the measured
+// complexities. It is deterministic given deterministic machines and
+// adversary, and produces Results identical to RunLegacy's for every
+// algorithm × adversary pair (asserted by the equivalence tests).
+//
+// This is the multicast-native engine: one broadcast is one Multicast
+// record plus one timing-wheel event (uniform delays) or p-1 lightweight
+// events (non-uniform), never p-1 heap-queued Message copies. Inbox
+// slices are reused across ticks, the adversary View is built once and
+// updated in place, the adversary is consulted once per broadcast when
+// it implements MulticastDelayer, and idle stretches announced via
+// Decision.NextWake are fast-forwarded instead of ticked through.
+func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
+	maxSteps, err := validateRun(cfg, machines, adv)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(cfg, machines, adv)
+
+	for now := int64(0); now < maxSteps; {
+		if e.stopped == cfg.P {
+			break
+		}
+		e.tick(now)
+		if e.res.Solved && cfg.StopAtSolved {
+			break
+		}
+		next := now + 1
+		if e.idle && e.nextWake > next {
+			// Nothing stepped and the adversary promised to stay idle
+			// until nextWake: jump straight to the next instant at which
+			// anything can happen (a wake-up or a message delivery). The
+			// skipped units are exact no-ops — no steps, no deliveries,
+			// no accounting — so Results are unchanged.
+			target := e.nextWake
+			if due := e.wheel.nextDue(); due >= 0 && due < target {
+				target = due
+			}
+			if target > next {
+				next = target
+			}
+		}
+		now = next
+	}
+	if !e.res.Solved {
+		return e.res, ErrStepCap
+	}
+	return e.res, nil
+}
+
+type engine struct {
+	cfg      Config
+	machines []Machine
+	adv      Adversary
+	batched  MulticastDelayer // adv, when it supports batched delays
+	d        int64            // adv.D(), cached
+	wheel    *wheel
+	inbox    [][]Message
+	crashed  []bool
+	halted   []bool
+	stopped  int // processors crashed or halted
+	done     []bool
+	undone   int
+	inflight int // undelivered point-to-point messages
+	res      *Result
+	view     View          // reused across ticks; only Now/Undone/InFlight change
+	delays   []int64       // scratch for per-recipient delays, length P
+	allBut   []*bitset.Set // lazily built all-but-sender recipient sets
+	idle     bool
+	nextWake int64
+}
+
+func newEngine(cfg Config, machines []Machine, adv Adversary) *engine {
+	e := &engine{
+		cfg:      cfg,
+		machines: machines,
+		adv:      adv,
+		d:        adv.D(),
+		wheel:    newWheel(adv.D()),
+		inbox:    make([][]Message, cfg.P),
+		crashed:  make([]bool, cfg.P),
+		halted:   make([]bool, cfg.P),
+		done:     make([]bool, cfg.T),
+		undone:   cfg.T,
+		delays:   make([]int64, cfg.P),
+		allBut:   make([]*bitset.Set, cfg.P),
+		res: &Result{
+			SolvedAt:    -1,
+			PerProcWork: make([]int64, cfg.P),
+			FirstDoneAt: make([]int64, cfg.T),
+		},
+	}
+	for z := range e.res.FirstDoneAt {
+		e.res.FirstDoneAt[z] = -1
+	}
+	e.batched, _ = adv.(MulticastDelayer)
+	e.view = View{
+		P:         cfg.P,
+		T:         cfg.T,
+		DoneTasks: e.done, // shared; adversaries must not mutate
+		Machines:  machines,
+		Inboxes:   e.inbox,
+		Crashed:   e.crashed,
+		Halted:    e.halted,
+	}
+	return e
+}
+
+// allButSet returns the cached recipient set {0..P-1} \ {i}.
+func (e *engine) allButSet(i int) *bitset.Set {
+	if e.allBut[i] == nil {
+		s := bitset.New(e.cfg.P)
+		for j := 0; j < e.cfg.P; j++ {
+			if j != i {
+				s.Set(j)
+			}
+		}
+		e.allBut[i] = s
+	}
+	return e.allBut[i]
+}
+
+// deliver appends the due event's messages to the recipient inboxes.
+func (e *engine) deliver(ev wevent, at int64) {
+	mc := ev.mc
+	if ev.to >= 0 {
+		e.inflight--
+		e.deliverOne(mc, int(ev.to), at)
+		return
+	}
+	e.inflight -= e.cfg.P - 1
+	r := mc.Recipients
+	for j := r.NextSet(0); j >= 0; j = r.NextSet(j + 1) {
+		e.deliverOne(mc, j, at)
+	}
+}
+
+func (e *engine) deliverOne(mc *Multicast, j int, at int64) {
+	if !e.crashed[j] && !e.halted[j] {
+		e.inbox[j] = append(e.inbox[j], Message{
+			From: mc.From, To: j, SentAt: mc.SentAt, DeliverAt: at, Payload: mc.Payload,
+		})
+	}
+}
+
+// tick advances one global time unit (mirrors legacyState.tick step for
+// step; any observable divergence is an engine bug).
+func (e *engine) tick(now int64) {
+	// 1. Deliver messages due now (and any skipped over, defensively).
+	e.wheel.advanceTo(now, e.deliver)
+
+	// 2. Ask the adversary for this unit's schedule.
+	v := &e.view
+	v.Now = now
+	v.Undone = e.undone
+	v.InFlight = e.inflight
+	dec := e.adv.Schedule(v)
+	for _, i := range dec.Crash {
+		if i >= 0 && i < e.cfg.P && !e.crashed[i] {
+			if !e.halted[i] {
+				e.stopped++
+			}
+			e.crashed[i] = true
+		}
+	}
+	e.nextWake = dec.NextWake
+	stepped := 0
+
+	// 3. Execute the scheduled local steps.
+	informed := false
+	for _, i := range dec.Active {
+		if i < 0 || i >= e.cfg.P || e.crashed[i] || e.halted[i] {
+			continue
+		}
+		inbox := e.inbox[i]
+		r := e.machines[i].Step(now, inbox)
+		// The machine consumed its inbox; reuse the backing array for
+		// future deliveries (machines must not retain the slice).
+		clear(inbox)
+		e.inbox[i] = inbox[:0]
+		stepped++
+		if len(r.Performed) > 1 {
+			panic(fmt.Sprintf("sim: machine %d performed %d tasks in one step", i, len(r.Performed)))
+		}
+
+		e.res.TotalSteps++
+		e.res.PerProcWork[i]++
+		if !e.res.Solved {
+			e.res.Work++
+		}
+
+		for _, z := range r.Performed {
+			if z < 0 || z >= e.cfg.T {
+				panic(fmt.Sprintf("sim: machine %d performed out-of-range task %d", i, z))
+			}
+			e.res.TaskExecutions++
+			if e.res.FirstDoneAt[z] == -1 || e.res.FirstDoneAt[z] == now {
+				e.res.PrimaryExecutions++
+			} else {
+				e.res.SecondaryExecutions++
+			}
+			if !e.done[z] {
+				e.done[z] = true
+				e.undone--
+				e.res.FirstDoneAt[z] = now
+			}
+		}
+
+		if r.Broadcast != nil && e.cfg.P > 1 {
+			e.broadcast(i, now, r.Broadcast)
+		}
+
+		for _, snd := range r.Sends {
+			if snd.To < 0 || snd.To >= e.cfg.P || snd.To == i || snd.Payload == nil {
+				continue
+			}
+			delay := e.adv.Delay(i, snd.To, now)
+			if delay < 1 || delay > e.d {
+				panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, e.d))
+			}
+			mc := &Multicast{From: i, SentAt: now, Payload: snd.Payload}
+			e.wheel.push(wevent{mc: mc, to: int32(snd.To)}, now+delay)
+			e.inflight++
+			e.res.TotalMessages++
+			if !e.res.Solved {
+				e.res.Messages++
+				if sz, ok := snd.Payload.(Payload); ok {
+					e.res.Bytes += int64(sz.WireSize())
+				}
+			}
+		}
+
+		if r.Halt {
+			if !e.halted[i] {
+				e.stopped++
+			}
+			e.halted[i] = true
+			if !e.res.Solved && !(e.undone == 0 && e.machines[i].KnowsAllDone()) {
+				e.res.HaltedEarly = true
+			}
+		}
+		if e.undone == 0 && e.machines[i].KnowsAllDone() {
+			informed = true
+		}
+	}
+	e.idle = stepped == 0
+
+	// 4. Solved check: all tasks done and some live processor informed.
+	if !e.res.Solved && e.undone == 0 {
+		if !informed {
+			for i, m := range e.machines {
+				if !e.crashed[i] && m.KnowsAllDone() {
+					informed = true
+					break
+				}
+			}
+		}
+		if informed {
+			e.res.Solved = true
+			e.res.SolvedAt = now
+		}
+	}
+}
+
+// broadcast schedules one multicast: one adversary call (when batched),
+// one Multicast record, and one wheel event when all recipients share a
+// delay — the p²-allocations hot path of the legacy engine reduced to
+// O(1) amortized.
+func (e *engine) broadcast(i int, now int64, payload any) {
+	p := e.cfg.P
+	mc := &Multicast{From: i, SentAt: now, Payload: payload}
+	delays := e.delays
+	if e.batched != nil {
+		e.batched.DelayMulticast(i, now, delays)
+	} else {
+		for j := 0; j < p; j++ {
+			if j != i {
+				delays[j] = e.adv.Delay(i, j, now)
+			}
+		}
+	}
+	uniform := true
+	first := int64(-1)
+	for j := 0; j < p; j++ {
+		if j == i {
+			continue
+		}
+		dl := delays[j]
+		if dl < 1 || dl > e.d {
+			panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", dl, e.d))
+		}
+		if first < 0 {
+			first = dl
+		} else if dl != first {
+			uniform = false
+		}
+	}
+	if uniform {
+		mc.Recipients = e.allButSet(i)
+		e.wheel.push(wevent{mc: mc, to: -1}, now+first)
+	} else {
+		for j := 0; j < p; j++ {
+			if j != i {
+				e.wheel.push(wevent{mc: mc, to: int32(j)}, now+delays[j])
+			}
+		}
+	}
+	e.inflight += p - 1
+	n := int64(p - 1)
+	e.res.TotalMessages += n
+	if !e.res.Solved {
+		e.res.Messages += n
+		if sz, ok := payload.(Payload); ok {
+			e.res.Bytes += int64(sz.WireSize()) * n
+		}
+	}
+}

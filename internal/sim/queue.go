@@ -24,8 +24,8 @@ func (h msgHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h msgHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)        { *h = append(*h, x.(queuedMsg)) }
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(queuedMsg)) }
 func (h *msgHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -14,7 +14,8 @@ package sim
 
 import (
 	"errors"
-	"fmt"
+
+	"doall/internal/bitset"
 )
 
 // Message is a point-to-point message in flight or delivered.
@@ -57,6 +58,34 @@ type StepResult struct {
 type Send struct {
 	To      int
 	Payload any
+}
+
+// Payload is the optional interface for wire-size-aware message payloads.
+// Payloads implementing it contribute their encoded size to Result.Bytes;
+// the engine queries the size once per multicast, never per recipient.
+// Implementations must be immutable once sent: one payload value is shared,
+// uncopied, by every recipient of a multicast (and by the sender).
+type Payload interface {
+	// WireSize returns the encoded size of the payload in bytes.
+	WireSize() int
+}
+
+// Multicast is one broadcast stored once, regardless of recipient count.
+// The engine materializes per-recipient Message values only at delivery
+// time, into reused inbox slices, so a broadcast costs O(1) allocations
+// instead of the p-1 of the legacy engine.
+type Multicast struct {
+	// From is the sender's processor id.
+	From int
+	// SentAt is the global time of the send step.
+	SentAt int64
+	// Payload is the shared, immutable content.
+	Payload any
+	// Recipients is the recipient set for uniform-delay multicasts (every
+	// recipient shares one delivery time, so one timing-wheel event covers
+	// the whole set). It is nil when the adversary assigned non-uniform
+	// delays and the multicast was scheduled per recipient.
+	Recipients *bitset.Set
 }
 
 // Machine is the step-machine interface every Do-All algorithm implements.
@@ -118,6 +147,20 @@ type Decision struct {
 	Active []int
 	// Crash lists processors that crash at the start of this unit.
 	Crash []int
+	// NextWake, when positive and Active is empty (or contains only
+	// crashed/halted processors), promises that the adversary will not
+	// activate any processor strictly before time NextWake. The engine
+	// uses the promise to fast-forward idle stretches: global time jumps
+	// to min(NextWake, next message delivery) instead of ticking through
+	// units in which nothing can happen. Zero means no promise (the
+	// engine ticks unit by unit, exactly like the legacy engine).
+	//
+	// The promise covers every Schedule side effect, not just
+	// activations: the skipped units' Schedule calls never happen, so an
+	// adversary whose Schedule does anything time-dependent before
+	// NextWake — injecting a crash at an exact time, in particular —
+	// must clamp NextWake to that time (see adversary.Crashing).
+	NextWake int64
 }
 
 // Adversary controls asynchrony: per-unit scheduling, crashes, and message
@@ -131,6 +174,20 @@ type Adversary interface {
 	// Delay returns the delivery delay (in global time units, ≥ 1 and
 	// ≤ D()) for a message from processor `from` to `to` sent at `sentAt`.
 	Delay(from, to int, sentAt int64) int64
+}
+
+// MulticastDelayer is an optional Adversary extension that assigns the
+// delays of a whole multicast in one call, so a broadcast costs the
+// adversary one invocation instead of p-1. Implementations fill
+// out[j] ∈ [1, D()] for every recipient j != from (out has length p;
+// out[from] is ignored). Adversaries that draw delays from a random
+// stream must consume it in ascending recipient order, matching the
+// per-recipient Delay loop, so that both engine paths see identical
+// delay sequences. Adversaries that do not implement the interface are
+// adapted automatically: the engine falls back to one Delay call per
+// recipient.
+type MulticastDelayer interface {
+	DelayMulticast(from int, sentAt int64, out []int64)
 }
 
 // Result aggregates the complexity measures of one execution.
@@ -189,216 +246,3 @@ type Config struct {
 // ErrStepCap is returned when the simulation hits MaxSteps before the
 // problem is solved.
 var ErrStepCap = errors.New("sim: step cap exceeded before Do-All was solved")
-
-// Run executes machines under the adversary and returns the measured
-// complexities. It is deterministic given deterministic machines and
-// adversary.
-func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
-	if len(machines) != cfg.P {
-		return nil, fmt.Errorf("sim: %d machines for P=%d", len(machines), cfg.P)
-	}
-	if cfg.P < 1 || cfg.T < 1 {
-		return nil, fmt.Errorf("sim: need P ≥ 1 and T ≥ 1, got P=%d T=%d", cfg.P, cfg.T)
-	}
-	if adv.D() < 1 {
-		return nil, fmt.Errorf("sim: adversary delay bound %d < 1", adv.D())
-	}
-	maxSteps := cfg.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = 10_000_000
-	}
-
-	s := &state{
-		cfg:      cfg,
-		machines: machines,
-		adv:      adv,
-		inbox:    make([][]Message, cfg.P),
-		pending:  newDelayQueue(),
-		crashed:  make([]bool, cfg.P),
-		halted:   make([]bool, cfg.P),
-		done:     make([]bool, cfg.T),
-		res: &Result{
-			SolvedAt:    -1,
-			PerProcWork: make([]int64, cfg.P),
-			FirstDoneAt: make([]int64, cfg.T),
-		},
-	}
-	for z := range s.res.FirstDoneAt {
-		s.res.FirstDoneAt[z] = -1
-	}
-
-	for now := int64(0); now < maxSteps; now++ {
-		if s.allStopped() {
-			break
-		}
-		s.tick(now)
-		if s.res.Solved && cfg.StopAtSolved {
-			break
-		}
-	}
-	if !s.res.Solved {
-		return s.res, ErrStepCap
-	}
-	return s.res, nil
-}
-
-type state struct {
-	cfg      Config
-	machines []Machine
-	adv      Adversary
-	inbox    [][]Message
-	pending  *delayQueue
-	crashed  []bool
-	halted   []bool
-	done     []bool
-	undone   int
-	res      *Result
-	inited   bool
-}
-
-func (s *state) allStopped() bool {
-	for i := range s.machines {
-		if !s.crashed[i] && !s.halted[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// tick advances one global time unit.
-func (s *state) tick(now int64) {
-	if !s.inited {
-		s.undone = s.cfg.T
-		s.inited = true
-	}
-
-	// 1. Deliver messages due now (or earlier, defensively).
-	for _, m := range s.pending.popDue(now) {
-		if !s.crashed[m.To] && !s.halted[m.To] {
-			s.inbox[m.To] = append(s.inbox[m.To], m)
-		}
-	}
-
-	// 2. Ask the adversary for this unit's schedule.
-	v := &View{
-		Now:       now,
-		P:         s.cfg.P,
-		T:         s.cfg.T,
-		DoneTasks: s.done, // shared; adversaries must not mutate
-		Undone:    s.undone,
-		Machines:  s.machines,
-		Inboxes:   s.inbox,
-		Crashed:   s.crashed,
-		Halted:    s.halted,
-		InFlight:  s.pending.len(),
-	}
-	dec := s.adv.Schedule(v)
-	for _, i := range dec.Crash {
-		if i >= 0 && i < s.cfg.P {
-			s.crashed[i] = true
-		}
-	}
-
-	// 3. Execute the scheduled local steps.
-	informed := false
-	for _, i := range dec.Active {
-		if i < 0 || i >= s.cfg.P || s.crashed[i] || s.halted[i] {
-			continue
-		}
-		inbox := s.inbox[i]
-		s.inbox[i] = nil
-		r := s.machines[i].Step(now, inbox)
-		if len(r.Performed) > 1 {
-			panic(fmt.Sprintf("sim: machine %d performed %d tasks in one step", i, len(r.Performed)))
-		}
-
-		s.res.TotalSteps++
-		s.res.PerProcWork[i]++
-		if !s.res.Solved {
-			s.res.Work++
-		}
-
-		for _, z := range r.Performed {
-			if z < 0 || z >= s.cfg.T {
-				panic(fmt.Sprintf("sim: machine %d performed out-of-range task %d", i, z))
-			}
-			s.res.TaskExecutions++
-			if s.res.FirstDoneAt[z] == -1 || s.res.FirstDoneAt[z] == now {
-				s.res.PrimaryExecutions++
-			} else {
-				s.res.SecondaryExecutions++
-			}
-			if !s.done[z] {
-				s.done[z] = true
-				s.undone--
-				s.res.FirstDoneAt[z] = now
-			}
-		}
-
-		if r.Broadcast != nil {
-			var wireSize int64
-			if sz, ok := r.Broadcast.(interface{ WireSize() int }); ok {
-				wireSize = int64(sz.WireSize())
-			}
-			for j := 0; j < s.cfg.P; j++ {
-				if j == i {
-					continue
-				}
-				delay := s.adv.Delay(i, j, now)
-				if delay < 1 || delay > s.adv.D() {
-					panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, s.adv.D()))
-				}
-				s.pending.push(Message{From: i, To: j, SentAt: now, DeliverAt: now + delay, Payload: r.Broadcast})
-				s.res.TotalMessages++
-				if !s.res.Solved {
-					s.res.Messages++
-					s.res.Bytes += wireSize
-				}
-			}
-		}
-
-		for _, snd := range r.Sends {
-			if snd.To < 0 || snd.To >= s.cfg.P || snd.To == i || snd.Payload == nil {
-				continue
-			}
-			delay := s.adv.Delay(i, snd.To, now)
-			if delay < 1 || delay > s.adv.D() {
-				panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, s.adv.D()))
-			}
-			s.pending.push(Message{From: i, To: snd.To, SentAt: now, DeliverAt: now + delay, Payload: snd.Payload})
-			s.res.TotalMessages++
-			if !s.res.Solved {
-				s.res.Messages++
-				if sz, ok := snd.Payload.(interface{ WireSize() int }); ok {
-					s.res.Bytes += int64(sz.WireSize())
-				}
-			}
-		}
-
-		if r.Halt {
-			s.halted[i] = true
-			if !s.res.Solved && !(s.undone == 0 && s.machines[i].KnowsAllDone()) {
-				s.res.HaltedEarly = true
-			}
-		}
-		if s.undone == 0 && s.machines[i].KnowsAllDone() {
-			informed = true
-		}
-	}
-
-	// 4. Solved check: all tasks done and some live processor informed.
-	if !s.res.Solved && s.undone == 0 {
-		if !informed {
-			for i, m := range s.machines {
-				if !s.crashed[i] && m.KnowsAllDone() {
-					informed = true
-					break
-				}
-			}
-		}
-		if informed {
-			s.res.Solved = true
-			s.res.SolvedAt = now
-		}
-	}
-}

@@ -1,0 +1,146 @@
+package sim
+
+// wevent is one timing-wheel entry: either a single-recipient delivery
+// (to ≥ 0) or a whole uniform-delay multicast (to < 0, recipients in
+// mc.Recipients). Grouping a uniform multicast into one event is what
+// makes a broadcast O(1) queue work instead of O(p).
+type wevent struct {
+	mc *Multicast
+	to int32 // recipient id, or -1 for mc.Recipients
+}
+
+// wheel is a bucketed timing wheel holding in-flight deliveries keyed on
+// absolute delivery time. All events within horizon units of the cursor
+// live in buckets (slot = time & mask); the rare farther-out events (only
+// possible when the delay bound exceeds maxWheelHorizon) wait in overflow
+// and are migrated into buckets as the cursor approaches. Push and pop
+// are O(1) amortized — the legacy engine's heap paid O(log m) per message
+// with m up to p·d multicasts' worth of entries.
+//
+// Determinism: buckets are FIFO. Events are pushed in simulation order
+// (ascending send time; within one time unit, ascending step order and,
+// for per-recipient events of one multicast, ascending recipient id),
+// and overflow migration happens at the start of a tick, before any push
+// of that tick, preserving send order within every bucket. Delivery order
+// therefore matches the legacy engine's (DeliverAt, send-sequence) heap
+// order for every recipient inbox.
+type wheel struct {
+	buckets  [][]wevent
+	mask     int64
+	cur      int64 // all events at times ≤ cur have been popped
+	overflow []wevent
+	overdue  []int64 // delivery times of overflow events, parallel slice
+	overMin  int64   // min(overdue), valid when len(overflow) > 0
+	events   int     // pending events across buckets and overflow
+}
+
+// maxWheelHorizon caps the bucket count so absurd delay bounds cannot
+// allocate unbounded memory; longer delays take the overflow path.
+const maxWheelHorizon = 1 << 15
+
+// newWheel returns a wheel able to hold delays up to bound without
+// overflow (bucket count is the next power of two ≥ min(bound+1,
+// maxWheelHorizon)).
+func newWheel(bound int64) *wheel {
+	n := int64(2)
+	for n < bound+1 && n < maxWheelHorizon {
+		n <<= 1
+	}
+	return &wheel{buckets: make([][]wevent, n), mask: n - 1}
+}
+
+// push schedules ev for delivery at time at. at must be > w.cur.
+func (w *wheel) push(ev wevent, at int64) {
+	if at <= w.cur {
+		panic("sim: wheel push into the past")
+	}
+	w.events++
+	if at-w.cur <= int64(len(w.buckets)) {
+		slot := at & w.mask
+		w.buckets[slot] = append(w.buckets[slot], ev)
+		return
+	}
+	if len(w.overflow) == 0 || at < w.overMin {
+		w.overMin = at
+	}
+	w.overflow = append(w.overflow, ev)
+	w.overdue = append(w.overdue, at)
+}
+
+// advanceTo moves the cursor to now, invoking fn(ev, t) for every event
+// due at each time t in (cur, now], in bucket order. fn must not push
+// new events (the engine only pushes during steps, after advanceTo).
+func (w *wheel) advanceTo(now int64, fn func(ev wevent, at int64)) {
+	if w.events == 0 {
+		w.cur = now
+		return
+	}
+	horizon := int64(len(w.buckets))
+	for w.cur < now {
+		w.cur++
+		if len(w.overflow) > 0 && w.overMin-w.cur < horizon {
+			w.migrateOverflow()
+		}
+		slot := w.cur & w.mask
+		b := w.buckets[slot]
+		if len(b) == 0 {
+			continue
+		}
+		for _, ev := range b {
+			w.events--
+			fn(ev, w.cur)
+		}
+		clear(b) // release *Multicast references for GC
+		w.buckets[slot] = b[:0]
+		if w.events == 0 {
+			w.cur = now
+			return
+		}
+	}
+}
+
+// migrateOverflow moves every overflow event now strictly within the
+// horizon into its bucket, preserving push order, and recomputes the
+// overflow minimum. The strict bound matters: an event at cur+horizon
+// would map to the slot being popped as time cur and be delivered early.
+// (Push may use the full horizon because it runs after the current time's
+// slot has been popped and emptied.)
+func (w *wheel) migrateOverflow() {
+	horizon := int64(len(w.buckets))
+	kept := 0
+	w.overMin = 0
+	for i, at := range w.overdue {
+		if at-w.cur < horizon {
+			slot := at & w.mask
+			w.buckets[slot] = append(w.buckets[slot], w.overflow[i])
+			continue
+		}
+		if kept == 0 || at < w.overMin {
+			w.overMin = at
+		}
+		w.overflow[kept] = w.overflow[i]
+		w.overdue[kept] = at
+		kept++
+	}
+	clear(w.overflow[kept:])
+	w.overflow = w.overflow[:kept]
+	w.overdue = w.overdue[:kept]
+}
+
+// nextDue returns the earliest pending delivery time, or -1 when the
+// wheel is empty. O(buckets) — used only to bound idle fast-forward
+// jumps, never on the per-tick hot path.
+func (w *wheel) nextDue() int64 {
+	if w.events == 0 {
+		return -1
+	}
+	for t := w.cur + 1; t <= w.cur+int64(len(w.buckets)); t++ {
+		if len(w.buckets[t&w.mask]) > 0 {
+			return t
+		}
+	}
+	if len(w.overflow) > 0 {
+		return w.overMin
+	}
+	return -1
+}
