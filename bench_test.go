@@ -214,13 +214,62 @@ func benchEngine(b *testing.B, engine func(sim.Config, []sim.Machine, sim.Advers
 }
 
 // The ISSUE-1 acceptance config: broadcast-heavy PA at p=256, t=1024,
-// d=8. The multicast engine must beat the legacy engine ≥ 5×.
+// d=8. The multicast engine must beat the legacy engine ≥ 5×. With the
+// observer hooks threaded through the engine this benchmark doubles as
+// the nil-observer overhead guard: Config.Observer is nil here, so ns/op
+// must stay within noise of the BENCH_0.json multicast-engine numbers.
 func BenchmarkEngineMulticastPA256(b *testing.B) { benchEngine(b, sim.Run, 256, 1024, 8) }
 func BenchmarkEngineLegacyPA256(b *testing.B)    { benchEngine(b, sim.RunLegacy, 256, 1024, 8) }
 
 // A mid-size point for quicker regression tracking.
 func BenchmarkEngineMulticastPA64(b *testing.B) { benchEngine(b, sim.Run, 64, 512, 4) }
 func BenchmarkEngineLegacyPA64(b *testing.B)    { benchEngine(b, sim.RunLegacy, 64, 512, 4) }
+
+// The same acceptance config with every observer hook live (cheap
+// counting callbacks), quantifying the cost of a non-nil observer; the
+// delta between this and BenchmarkEngineMulticastPA256 is the full hook
+// overhead.
+func BenchmarkEngineMulticastPA256Observer(b *testing.B) {
+	const p, t, d = 256, 1024, 8
+	var events int64
+	obs := &sim.FuncObserver{
+		Step:      func(int, int64, *sim.StepResult) { events++ },
+		Multicast: func(int, int64, any, int) { events++ },
+		Deliver:   func(sim.Message) { events++ },
+		Crash:     func(int, int64) { events++ },
+		Solved:    func(int64, *sim.Result) { events++ },
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ms, err := harness.BuildMachines(harness.Spec{Algo: harness.AlgoPaRan1, P: p, T: t, D: d, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := adversary.NewFair(d)
+		b.StartTimer()
+		if _, err := sim.Run(sim.Config{P: p, T: t, Observer: obs}, ms, adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events")
+}
+
+// BenchmarkScenarioRun measures the declarative path end to end —
+// registry lookup, adversary-expression resolution, machine construction,
+// simulation — so the Scenario layer's overhead stays visible next to the
+// raw engine numbers.
+func BenchmarkScenarioRun(b *testing.B) {
+	sc := doall.Scenario{Algorithm: "PaRan1", Adversary: "crashing(slow-set(fair))", P: 64, T: 512, D: 4, Seed: 42}
+	var work int64
+	for i := 0; i < b.N; i++ {
+		res, err := doall.RunScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work = res.Sim.Work
+	}
+	b.ReportMetric(float64(work), "work")
+}
 
 // BenchmarkSweepRunner exercises the sharded (p, t, d, algo) sweep used
 // for the BENCH_*.json baselines on a small grid.

@@ -12,10 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"doall/internal/perm"
+	"doall"
 )
 
 func main() {
@@ -38,28 +37,27 @@ func run() error {
 	if *k == 0 {
 		*k = *n
 	}
-	r := rand.New(rand.NewSource(*seed))
 
 	if *dsweep {
-		l := perm.RandomList(*k, *n, r)
+		l := doall.RandomSchedules(*k, *n, *seed)
 		fmt.Printf("random list: k=%d permutations of [%d]\n", *k, *n)
 		fmt.Printf("%6s  %14s  %14s  %8s\n", "d", "(d)-Cont est", "Thm 4.4 bound", "ratio")
 		for d := 1; d <= *n; d *= 2 {
-			est := perm.DContEstimate(l, d, *samples, r)
-			b := perm.DContBound(*n, *k, d)
+			est := doall.DContentionEstimate(l, d, *samples, *seed)
+			b := doall.DContentionBound(*n, *k, d)
 			fmt.Printf("%6d  %14d  %14.0f  %8.3f\n", d, est, b, float64(est)/b)
 		}
 		return nil
 	}
 
-	res := perm.FindLowContentionList(*k, *n, *restarts, r)
+	res := doall.SearchSchedules(*k, *n, *restarts, *seed)
 	kind := "estimated"
 	if res.Exact {
 		kind = "exact"
 	}
 	fmt.Printf("searched %d candidate lists (k=%d, n=%d)\n", res.Candidates, *k, *n)
 	fmt.Printf("best Cont(Σ) = %d (%s); Lemma 4.1 bound 3nH_n = %d\n",
-		res.Cont, kind, perm.HarmonicBound(*n))
+		res.Cont, kind, doall.HarmonicBound(*n))
 	fmt.Printf("trivial bounds: n = %d ≤ Cont ≤ n² = %d\n", *n, *n**n)
 	for i, p := range res.List {
 		fmt.Printf("  π_%d = %v\n", i, []int(p))

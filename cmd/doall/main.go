@@ -1,86 +1,138 @@
-// Command doall runs one Do-All algorithm on one problem instance under a
-// chosen d-adversary in the deterministic simulator and prints the
+// Command doall runs one Do-All scenario — algorithm × adversary
+// expression × (p, t, d) — in the deterministic simulator and prints the
 // measured work, message, and time complexity next to the paper's bounds.
+// It is a thin front-end over the public Scenario API: algorithms and
+// adversaries resolve through the open registries, so -algo and
+// -adversary accept anything registered, including composed adversary
+// expressions.
 //
 // Usage:
 //
 //	doall -algo DA -p 16 -t 1024 -d 8 -q 2 -adversary fair
 //	doall -algo PaRan1 -p 8 -t 256 -d 4 -trials 10
+//	doall -algo PaRan2 -p 8 -t 256 -d 4 -adversary 'crashing(slow-set(fair),crash=0@5)'
+//	doall -spec '{"algorithm":"DA","p":16,"t":1024,"d":8}'
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"doall/internal/bounds"
-	"doall/internal/harness"
+	"doall"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "doall:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		algo      = flag.String("algo", "DA", "algorithm: AllToAll, ObliDo, DA, PaRan1, PaRan2, PaDet")
-		p         = flag.Int("p", 8, "number of processors")
-		t         = flag.Int("t", 64, "number of tasks")
-		d         = flag.Int64("d", 1, "message delay bound d")
-		q         = flag.Int("q", 2, "progress-tree arity (DA only)")
-		adv       = flag.String("adversary", "fair", "adversary: fair, random, stage-det, stage-online")
-		seed      = flag.Int64("seed", 1, "random seed")
-		trials    = flag.Int("trials", 1, "trials to average over (varies the seed)")
-		restarts  = flag.Int("restarts", 32, "permutation-search restarts")
-	)
-	flag.Parse()
+// cliFlags holds the parsed command line; scenario() converts it to the
+// declarative spec.
+type cliFlags struct {
+	algo     string
+	p, t     int
+	d        int64
+	q        int
+	adv      string
+	seed     int64
+	trials   int
+	restarts int
+	spec     string
+}
 
-	spec := harness.Spec{
-		Algo:           harness.Algo(*algo),
-		P:              *p,
-		T:              *t,
-		Q:              *q,
-		D:              *d,
-		Adversary:      harness.Adv(*adv),
-		Seed:           *seed,
-		SearchRestarts: *restarts,
+// parseFlags parses args into cliFlags without touching the global flag
+// set, so tests can drive it directly.
+func parseFlags(args []string) (cliFlags, error) {
+	var c cliFlags
+	fs := flag.NewFlagSet("doall", flag.ContinueOnError)
+	fs.StringVar(&c.algo, "algo", "DA", "algorithm: "+strings.Join(doall.RegisteredAlgorithms(), ", "))
+	fs.IntVar(&c.p, "p", 8, "number of processors")
+	fs.IntVar(&c.t, "t", 64, "number of tasks")
+	fs.Int64Var(&c.d, "d", 1, "message delay bound d")
+	fs.IntVar(&c.q, "q", 2, "progress-tree arity (DA only)")
+	fs.StringVar(&c.adv, "adversary", "fair", "adversary expression over: "+strings.Join(doall.RegisteredAdversaries(), ", "))
+	fs.Int64Var(&c.seed, "seed", 1, "random seed")
+	fs.IntVar(&c.trials, "trials", 1, "trials to average over (varies the seed)")
+	fs.IntVar(&c.restarts, "restarts", 32, "permutation-search restarts")
+	fs.StringVar(&c.spec, "spec", "", "JSON Scenario document (overrides the individual flags)")
+	if err := fs.Parse(args); err != nil {
+		return cliFlags{}, err
 	}
+	return c, nil
+}
 
-	if *trials <= 1 {
-		res, err := harness.Execute(spec)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("algorithm   %s  (p=%d t=%d d=%d adversary=%s)\n", *algo, *p, *t, *d, *adv)
-		fmt.Printf("work        %d\n", res.Work)
-		fmt.Printf("messages    %d\n", res.Messages)
-		fmt.Printf("time        %d\n", res.SolvedAt)
-		fmt.Printf("executions  %d (primary %d, secondary %d)\n",
-			res.TaskExecutions, res.PrimaryExecutions, res.SecondaryExecutions)
-		printBounds(*p, *t, int(*d), float64(res.Work))
-		return nil
+// scenario builds the declarative spec from the flags: either the -spec
+// JSON document verbatim, or the individual flags assembled.
+func (c cliFlags) scenario() (doall.Scenario, error) {
+	if c.spec != "" {
+		return doall.ParseScenario([]byte(c.spec))
 	}
+	return doall.Scenario{
+		Algorithm:      c.algo,
+		Adversary:      c.adv,
+		P:              c.p,
+		T:              c.t,
+		Q:              c.q,
+		D:              c.d,
+		Seed:           c.seed,
+		Trials:         c.trials,
+		SearchRestarts: c.restarts,
+	}, nil
+}
 
-	avg, err := harness.ExecuteAvg(spec, *trials)
+func run(args []string, w io.Writer) error {
+	c, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("algorithm   %s  (p=%d t=%d d=%d adversary=%s, %d trials)\n", *algo, *p, *t, *d, *adv, *trials)
-	fmt.Printf("E[work]     %.1f\n", avg.Work)
-	fmt.Printf("E[messages] %.1f\n", avg.Messages)
-	fmt.Printf("E[time]     %.1f\n", avg.Time)
-	printBounds(*p, *t, int(*d), avg.Work)
+	sc, err := c.scenario()
+	if err != nil {
+		return err
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	sc = sc.WithDefaults()
+
+	if sc.Trials <= 1 {
+		res, err := doall.RunScenario(sc)
+		if err != nil {
+			return err
+		}
+		r := res.Sim
+		fmt.Fprintf(w, "algorithm   %s  (p=%d t=%d d=%d adversary=%s)\n", sc.Algorithm, sc.P, sc.T, sc.D, sc.Adversary)
+		fmt.Fprintf(w, "work        %d\n", r.Work)
+		fmt.Fprintf(w, "messages    %d\n", r.Messages)
+		fmt.Fprintf(w, "time        %d\n", r.SolvedAt)
+		fmt.Fprintf(w, "executions  %d (primary %d, secondary %d)\n",
+			r.TaskExecutions, r.PrimaryExecutions, r.SecondaryExecutions)
+		printBounds(w, sc.P, sc.T, int(sc.D), float64(r.Work))
+		return nil
+	}
+
+	avg, err := doall.RunScenarioAvg(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "algorithm   %s  (p=%d t=%d d=%d adversary=%s, %d trials)\n",
+		sc.Algorithm, sc.P, sc.T, sc.D, sc.Adversary, sc.Trials)
+	fmt.Fprintf(w, "E[work]     %.1f\n", avg.Work)
+	fmt.Fprintf(w, "E[messages] %.1f\n", avg.Messages)
+	fmt.Fprintf(w, "E[time]     %.1f\n", avg.Time)
+	printBounds(w, sc.P, sc.T, int(sc.D), avg.Work)
 	return nil
 }
 
-func printBounds(p, t, d int, work float64) {
-	fmt.Printf("---- theory (constants suppressed) ----\n")
-	fmt.Printf("lower bound Ω   %.0f\n", bounds.LowerBound(p, t, d))
-	fmt.Printf("DA bound (ε=.5) %.0f\n", bounds.DAUpperBound(p, t, d, 0.5))
-	fmt.Printf("PA bound        %.0f\n", bounds.PAUpperBound(p, t, d))
-	fmt.Printf("oblivious p·t   %.0f\n", bounds.ObliviousWork(p, t))
-	fmt.Printf("work/oblivious  %.3f\n", work/bounds.ObliviousWork(p, t))
+func printBounds(w io.Writer, p, t, d int, work float64) {
+	fmt.Fprintf(w, "---- theory (constants suppressed) ----\n")
+	fmt.Fprintf(w, "lower bound Ω   %.0f\n", doall.LowerBound(p, t, d))
+	fmt.Fprintf(w, "DA bound (ε=.5) %.0f\n", doall.DAUpperBound(p, t, d, 0.5))
+	fmt.Fprintf(w, "PA bound        %.0f\n", doall.PAUpperBound(p, t, d))
+	fmt.Fprintf(w, "oblivious p·t   %.0f\n", doall.ObliviousWork(p, t))
+	fmt.Fprintf(w, "work/oblivious  %.3f\n", work/doall.ObliviousWork(p, t))
 }

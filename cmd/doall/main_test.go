@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"doall"
+)
+
+func TestScenarioFromFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want doall.Scenario
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			want: doall.Scenario{Algorithm: "DA", Adversary: "fair", P: 8, T: 64, Q: 2, D: 1,
+				Seed: 1, Trials: 1, SearchRestarts: 32},
+		},
+		{
+			name: "explicit",
+			args: []string{"-algo", "PaRan1", "-p", "4", "-t", "32", "-d", "3", "-seed", "9", "-trials", "5"},
+			want: doall.Scenario{Algorithm: "PaRan1", Adversary: "fair", P: 4, T: 32, Q: 2, D: 3,
+				Seed: 9, Trials: 5, SearchRestarts: 32},
+		},
+		{
+			name: "adversary expression",
+			args: []string{"-adversary", "crashing(slow-set(fair),crash=0@5)"},
+			want: doall.Scenario{Algorithm: "DA", Adversary: "crashing(slow-set(fair),crash=0@5)",
+				P: 8, T: 64, Q: 2, D: 1, Seed: 1, Trials: 1, SearchRestarts: 32},
+		},
+		{
+			name: "json spec",
+			args: []string{"-spec", `{"algorithm":"PaDet","p":5,"t":25,"d":2,"seed":7}`},
+			want: doall.Scenario{Algorithm: "PaDet", P: 5, T: 25, D: 2, Seed: 7},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := parseFlags(tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := c.scenario()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc != tc.want {
+				t.Fatalf("scenario = %+v, want %+v", sc, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunUnknownNamesSurfaceRegistryErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-algo", "NoSuchAlgo", "-p", "2", "-t", "4"}, "unknown algorithm"},
+		{[]string{"-adversary", "nope", "-p", "2", "-t", "4"}, "unknown adversary"},
+		{[]string{"-adversary", "fair(", "-p", "2", "-t", "4"}, "expected argument"},
+		{[]string{"-adversary", "crashing(crash=bad)", "-p", "2", "-t", "4"}, "PID@TIME"},
+		{[]string{"-spec", `{"algorithm":"DA","bogus":1}`}, "bogus"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		err := run(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error = %v, want substring %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestRunSlowSetAndCrashingEndToEnd(t *testing.T) {
+	for _, adv := range []string{"crashing", "slow-set", "slow-set(slow=1,period=2)"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", "PaRan1", "-p", "4", "-t", "16", "-d", "2", "-adversary", adv}, &out); err != nil {
+			t.Fatalf("adversary %q: %v", adv, err)
+		}
+		if !strings.Contains(out.String(), "work") || !strings.Contains(out.String(), "adversary="+adv) {
+			t.Fatalf("adversary %q: unexpected output:\n%s", adv, out.String())
+		}
+	}
+}
+
+func TestRunTrialsAveraging(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "AllToAll", "-p", "3", "-t", "9", "-trials", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E[work]     27.0") {
+		t.Fatalf("averaged output missing deterministic E[work]:\n%s", out.String())
+	}
+}

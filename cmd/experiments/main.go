@@ -9,72 +9,181 @@
 //	experiments -markdown        # Markdown output
 //	experiments -only E5,E6      # subset
 //
-// It is also the front-end of the sharded sweep runner, which fans a
-// (p, t, d, algorithm) grid across GOMAXPROCS workers with deterministic
-// per-cell seeds and emits a JSON perf report (the BENCH_*.json schema):
+// It is also the front-end of the sharded sweep runner, which fans an
+// (algorithm, adversary, p, t, d) grid across GOMAXPROCS workers with
+// deterministic per-cell seeds and emits a JSON perf report (the
+// BENCH_*.json schema). -adv takes one adversary expression; -advs takes
+// a ';'-separated list to add an adversary axis to the grid (';' because
+// expressions like crashing(crash=0@3,crash=1@5) contain commas):
 //
 //	experiments -sweep                              # default grid to stdout
 //	experiments -sweep -out BENCH_0.json            # write the baseline file
 //	experiments -sweep -algos PaRan1,DA -p 64,256 -t 1024 -d 1,8,64 -trials 3
+//	experiments -sweep -adv 'crashing(slow-set(fair))'
+//	experiments -sweep -advs 'fair;crashing;slow-set(period=8)'
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
-	"doall/internal/harness"
+	"doall"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// sweepFlags holds the sweep-mode command line; config() converts it to a
+// SweepConfig.
+type sweepFlags struct {
+	algos   string
+	ps      string
+	ts      string
+	ds      string
+	adv     string
+	advs    string
+	trials  int
+	workers int
+	seed    int64
+}
+
+// config assembles and validates the declarative sweep grid.
+func (f sweepFlags) config() (doall.SweepConfig, error) {
+	cfg := doall.SweepConfig{
+		Adversary: f.adv,
+		BaseSeed:  f.seed,
+		Trials:    f.trials,
+		Workers:   f.workers,
+	}
+	cfg.Algos = splitList(f.algos, ",")
+	if f.advs != "" {
+		cfg.Adversaries = splitList(f.advs, ";")
+	}
+	var err error
+	if cfg.Ps, err = parseInts(f.ps); err != nil {
+		return cfg, fmt.Errorf("-p: %w", err)
+	}
+	if cfg.Ts, err = parseInts(f.ts); err != nil {
+		return cfg, fmt.Errorf("-t: %w", err)
+	}
+	dvals, err := parseInts(f.ds)
+	if err != nil {
+		return cfg, fmt.Errorf("-d: %w", err)
+	}
+	for _, d := range dvals {
+		cfg.Ds = append(cfg.Ds, int64(d))
+	}
+	switch {
+	case len(cfg.Algos) == 0:
+		return cfg, fmt.Errorf("-algos: empty grid axis")
+	case len(cfg.Ps) == 0:
+		return cfg, fmt.Errorf("-p: empty grid axis")
+	case len(cfg.Ts) == 0:
+		return cfg, fmt.Errorf("-t: empty grid axis")
+	case len(cfg.Ds) == 0:
+		return cfg, fmt.Errorf("-d: empty grid axis")
+	}
+	// Reject unknown algorithms/adversaries before burning sweep time.
+	// Probe with the grid's largest shape so shape-dependent parameters
+	// (fair(delay=8) with -d 8, slow-set(slow=9) with -p 16) validate
+	// against what the cells will actually run; smaller cells that still
+	// violate a parameter surface as per-cell errors in the report.
+	probe := doall.Scenario{P: maxInt(cfg.Ps), T: maxInt(cfg.Ts), D: maxInt64(cfg.Ds), Seed: 1}
+	advs := cfg.Adversaries
+	if len(advs) == 0 {
+		advs = []string{cfg.Adversary}
+	}
+	for _, algo := range cfg.Algos {
+		for _, adv := range advs {
+			probe.Algorithm, probe.Adversary = algo, adv
+			if err := probe.Validate(); err != nil {
+				return cfg, err
+			}
+		}
+	}
+	return cfg, nil
+}
+
+func maxInt(vals []int) int {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxInt64(vals []int64) int64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func run(args []string, w io.Writer) error {
 	var (
-		scale    = flag.String("scale", "quick", "experiment scale: quick or full")
-		markdown = flag.Bool("markdown", false, "emit Markdown instead of plain text")
-		only     = flag.String("only", "", "comma-separated experiment ids to run (default all)")
-
-		sweep   = flag.Bool("sweep", false, "run the sharded (p,t,d,algo) sweep instead of E1–E10")
-		out     = flag.String("out", "", "sweep: write the JSON report to this file (default stdout)")
-		algos   = flag.String("algos", "AllToAll,DA,PaRan1,PaDet", "sweep: comma-separated algorithms")
-		ps      = flag.String("p", "16,64,256", "sweep: comma-separated processor counts")
-		ts      = flag.String("t", "256,1024", "sweep: comma-separated task counts")
-		ds      = flag.String("d", "1,8,64", "sweep: comma-separated delay bounds")
-		adv     = flag.String("adv", string(harness.AdvFair), "sweep: adversary (fair, random, ...)")
-		trials  = flag.Int("trials", 1, "sweep: runs per cell (averaged)")
-		workers = flag.Int("workers", 0, "sweep: worker goroutines (0 = GOMAXPROCS)")
-		seed    = flag.Int64("seed", 0, "sweep: base seed for per-cell seed derivation")
+		f        sweepFlags
+		scale    string
+		markdown bool
+		only     string
+		sweep    bool
+		out      string
 	)
-	flag.Parse()
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.StringVar(&scale, "scale", "quick", "experiment scale: quick or full")
+	fs.BoolVar(&markdown, "markdown", false, "emit Markdown instead of plain text")
+	fs.StringVar(&only, "only", "", "comma-separated experiment ids to run (default all)")
 
-	if *sweep {
-		return runSweep(*algos, *ps, *ts, *ds, *adv, *trials, *workers, *seed, *out)
+	fs.BoolVar(&sweep, "sweep", false, "run the sharded (algo,adv,p,t,d) sweep instead of E1–E10")
+	fs.StringVar(&out, "out", "", "sweep: write the JSON report to this file (default stdout)")
+	fs.StringVar(&f.algos, "algos", "AllToAll,DA,PaRan1,PaDet", "sweep: comma-separated algorithms")
+	fs.StringVar(&f.ps, "p", "16,64,256", "sweep: comma-separated processor counts")
+	fs.StringVar(&f.ts, "t", "256,1024", "sweep: comma-separated task counts")
+	fs.StringVar(&f.ds, "d", "1,8,64", "sweep: comma-separated delay bounds")
+	fs.StringVar(&f.adv, "adv", "fair", "sweep: adversary expression ("+strings.Join(doall.RegisteredAdversaries(), ", ")+")")
+	fs.StringVar(&f.advs, "advs", "", "sweep: ';'-separated adversary expressions (adds a grid axis; overrides -adv)")
+	fs.IntVar(&f.trials, "trials", 1, "sweep: runs per cell (averaged)")
+	fs.IntVar(&f.workers, "workers", 0, "sweep: worker goroutines (0 = GOMAXPROCS)")
+	fs.Int64Var(&f.seed, "seed", 0, "sweep: base seed for per-cell seed derivation")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
-	sc := harness.Quick
-	switch *scale {
+	if sweep {
+		cfg, err := f.config()
+		if err != nil {
+			return err
+		}
+		return writeSweep(cfg, out, w)
+	}
+
+	sc := doall.QuickScale
+	switch scale {
 	case "quick":
 	case "full":
-		sc = harness.Full
+		sc = doall.FullScale
 	default:
-		return fmt.Errorf("unknown scale %q", *scale)
+		return fmt.Errorf("unknown scale %q", scale)
 	}
 
 	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
+	for _, id := range splitList(only, ",") {
+		want[id] = true
 	}
 
-	tables, err := harness.AllExperiments(sc)
+	tables, err := doall.AllExperiments(sc)
 	if err != nil {
 		return err
 	}
@@ -82,51 +191,18 @@ func run() error {
 		if len(want) > 0 && !want[tb.ID] {
 			continue
 		}
-		if *markdown {
-			fmt.Println(tb.Markdown())
+		if markdown {
+			fmt.Fprintln(w, tb.Markdown())
 		} else {
-			fmt.Println(tb.String())
+			fmt.Fprintln(w, tb.String())
 		}
 	}
 	return nil
 }
 
-func runSweep(algos, ps, ts, ds, adv string, trials, workers int, seed int64, out string) error {
-	cfg := harness.SweepConfig{
-		Adversary: harness.Adv(adv),
-		BaseSeed:  seed,
-		Trials:    trials,
-		Workers:   workers,
-	}
-	for _, a := range splitList(algos) {
-		cfg.Algos = append(cfg.Algos, harness.Algo(a))
-	}
-	var err error
-	if cfg.Ps, err = parseInts(ps); err != nil {
-		return fmt.Errorf("-p: %w", err)
-	}
-	if cfg.Ts, err = parseInts(ts); err != nil {
-		return fmt.Errorf("-t: %w", err)
-	}
-	dvals, err := parseInts(ds)
-	if err != nil {
-		return fmt.Errorf("-d: %w", err)
-	}
-	for _, d := range dvals {
-		cfg.Ds = append(cfg.Ds, int64(d))
-	}
-	// Reject unknown algorithms/adversaries before burning sweep time.
-	if _, err := harness.BuildAdversary(harness.Spec{Adversary: cfg.Adversary}); err != nil {
-		return err
-	}
-	for _, a := range cfg.Algos {
-		if _, err := harness.BuildMachines(harness.Spec{Algo: a, P: 2, T: 2, D: 1, Seed: 1}); err != nil {
-			return err
-		}
-	}
-
-	rep := harness.NewSweepReport(cfg)
-	w := os.Stdout
+func writeSweep(cfg doall.SweepConfig, out string, w io.Writer) error {
+	// Open the output before burning sweep time: a bad path must fail
+	// fast, not after a multi-minute grid.
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -135,12 +211,13 @@ func runSweep(algos, ps, ts, ds, adv string, trials, workers int, seed int64, ou
 		defer f.Close()
 		w = f
 	}
+	rep := doall.NewSweepReport(cfg)
 	return rep.WriteJSON(w)
 }
 
-func splitList(s string) []string {
+func splitList(s, sep string) []string {
 	var items []string
-	for _, it := range strings.Split(s, ",") {
+	for _, it := range strings.Split(s, sep) {
 		if it = strings.TrimSpace(it); it != "" {
 			items = append(items, it)
 		}
@@ -150,7 +227,7 @@ func splitList(s string) []string {
 
 func parseInts(s string) ([]int, error) {
 	var vals []int
-	for _, it := range splitList(s) {
+	for _, it := range splitList(s, ",") {
 		v, err := strconv.Atoi(it)
 		if err != nil {
 			return nil, err

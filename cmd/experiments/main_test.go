@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"doall"
+)
+
+func TestSweepFlagParsing(t *testing.T) {
+	cases := []struct {
+		name string
+		f    sweepFlags
+		want doall.SweepConfig
+	}{
+		{
+			name: "plain grid",
+			f:    sweepFlags{algos: "DA,PaRan1", ps: "4,8", ts: "16", ds: "1,2", adv: "fair", trials: 2, seed: 5},
+			want: doall.SweepConfig{
+				Algos: []string{"DA", "PaRan1"}, Ps: []int{4, 8}, Ts: []int{16}, Ds: []int64{1, 2},
+				Adversary: "fair", BaseSeed: 5, Trials: 2,
+			},
+		},
+		{
+			name: "whitespace and empties",
+			f:    sweepFlags{algos: " DA , ,PaDet ", ps: "4", ts: "8", ds: "1", adv: "fair"},
+			want: doall.SweepConfig{
+				Algos: []string{"DA", "PaDet"}, Ps: []int{4}, Ts: []int{8}, Ds: []int64{1},
+				Adversary: "fair",
+			},
+		},
+		{
+			name: "adversary expression with commas",
+			f:    sweepFlags{algos: "PaRan1", ps: "4", ts: "8", ds: "2", adv: "crashing(crash=0@3,crash=1@5)"},
+			want: doall.SweepConfig{
+				Algos: []string{"PaRan1"}, Ps: []int{4}, Ts: []int{8}, Ds: []int64{2},
+				Adversary: "crashing(crash=0@3,crash=1@5)",
+			},
+		},
+		{
+			name: "semicolon adversary grid",
+			f:    sweepFlags{algos: "PaRan1", ps: "4", ts: "8", ds: "2", adv: "fair", advs: "fair; crashing ;slow-set(period=2)"},
+			want: doall.SweepConfig{
+				Algos: []string{"PaRan1"}, Ps: []int{4}, Ts: []int{8}, Ds: []int64{2},
+				Adversary: "fair", Adversaries: []string{"fair", "crashing", "slow-set(period=2)"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.f.config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("config = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSweepFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    sweepFlags
+		want string
+	}{
+		{"bad p", sweepFlags{algos: "DA", ps: "4,x", ts: "8", ds: "1", adv: "fair"}, "-p"},
+		{"bad t", sweepFlags{algos: "DA", ps: "4", ts: "", ds: "1", adv: "fair"}, "-t"},
+		{"bad d", sweepFlags{algos: "DA", ps: "4", ts: "8", ds: "one", adv: "fair"}, "-d"},
+		{"empty t axis", sweepFlags{algos: "DA", ps: "4", ts: " , ", ds: "1", adv: "fair"}, "-t"},
+		{"unknown algo", sweepFlags{algos: "DA,NoSuch", ps: "4", ts: "8", ds: "1", adv: "fair"}, "unknown algorithm"},
+		{"crash pid beyond largest p", sweepFlags{algos: "DA", ps: "4,8", ts: "8", ds: "1", adv: "crashing(crash=9@1)"}, "outside [0, 8)"},
+		{"unknown adv", sweepFlags{algos: "DA", ps: "4", ts: "8", ds: "1", adv: "nope"}, "unknown adversary"},
+		{"unknown adv in grid", sweepFlags{algos: "DA", ps: "4", ts: "8", ds: "1", adv: "fair", advs: "fair;nope"}, "unknown adversary"},
+		{"bad expression", sweepFlags{algos: "DA", ps: "4", ts: "8", ds: "1", adv: "crashing(crash=zap)"}, "PID@TIME"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.f.config()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("config() error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSweepValidationUsesGridShape guards against the probe rejecting
+// parameters that are valid for the actual grid: delay/slow bounds must
+// be checked against the grid's largest d and p, not a fixed tiny shape.
+func TestSweepValidationUsesGridShape(t *testing.T) {
+	for _, f := range []sweepFlags{
+		{algos: "PaRan1", ps: "16", ts: "16", ds: "8", adv: "fair(delay=2)"},
+		{algos: "PaRan1", ps: "16", ts: "16", ds: "2", adv: "slow-set(slow=9)"},
+		{algos: "PaRan1", ps: "4,16", ts: "16", ds: "1,8", adv: "crashing(crash=7@3)"},
+	} {
+		if _, err := f.config(); err != nil {
+			t.Errorf("config(%+v) rejected a grid-valid adversary: %v", f, err)
+		}
+	}
+}
+
+// TestSweepEndToEndRecordsAdversaries runs a tiny real sweep through the
+// CLI path and checks the BENCH-schema JSON carries the adversary axis.
+func TestSweepEndToEndRecordsAdversaries(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "-algos", "PaRan1", "-p", "4", "-t", "16", "-d", "2",
+		"-advs", "fair;slow-set(period=2)", "-seed", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep doall.SweepReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("sweep output is not a SweepReport: %v", err)
+	}
+	if rep.Adversary != "fair;slow-set(period=2)" {
+		t.Errorf("report adversary = %q", rep.Adversary)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(rep.Cells))
+	}
+	for i, want := range []string{"fair", "slow-set(period=2)"} {
+		if rep.Cells[i].Adversary != want {
+			t.Errorf("cell %d adversary = %q, want %q", i, rep.Cells[i].Adversary, want)
+		}
+		if rep.Cells[i].Err != "" {
+			t.Errorf("cell %d failed: %s", i, rep.Cells[i].Err)
+		}
+	}
+}
+
+func TestExperimentsSubsetRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E3") {
+		t.Fatalf("E3 table missing from output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "E5") {
+		t.Fatal("-only filter leaked other experiments")
+	}
+}
+
+func TestUnknownScaleRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "enormous"}, &out); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

@@ -11,25 +11,36 @@
 //
 // The package exposes:
 //
+//   - A declarative Scenario API: a JSON-serializable spec naming an
+//     algorithm, an adversary expression, the problem shape, and a
+//     backend, resolved through open registries (RegisterAlgorithm,
+//     RegisterAdversary). Adversary expressions compose combinators —
+//     "crashing(slow-set(fair))" layers crash failures over a slow subset
+//     over fixed delays.
 //   - The algorithms as step machines: the oblivious baselines
 //     (NewAllToAll, NewObliDo), the deterministic progress-tree family
 //     DA(q) (NewDA), and the permutation family PA (NewPaRan1, NewPaRan2,
 //     NewPaDet). All run unchanged under both execution substrates.
 //   - A deterministic simulator (Simulate) in which an Adversary controls
 //     processor speeds, crashes, and message delays up to an unknown bound
-//     d — the model in which the paper's bounds are stated.
-//   - A goroutine runtime (Execute) that runs the same machines on real
-//     concurrency with user task bodies.
+//     d — the model in which the paper's bounds are stated — with optional
+//     zero-cost-when-nil Observer hooks for tracing and metrics.
+//   - A goroutine runtime (Execute, or Backend "runtime") that runs the
+//     same machines on real concurrency with user task bodies.
 //   - The combinatorial toolkit of Section 4 (contention of permutation
 //     schedules) and closed-form bound evaluators for comparing measured
 //     work against theory.
 //
 // A minimal use:
 //
-//	perms := doall.FindSchedules(2, 100, 42)       // q=2 schedule list
-//	ms, _ := doall.NewDA(doall.DAConfig{P: 8, T: 64, Q: 2, Perms: perms})
-//	res, _ := doall.Simulate(doall.SimConfig{P: 8, T: 64}, ms, doall.NewFairAdversary(4))
-//	fmt.Println(res.Work, res.Messages)
+//	sc := doall.Scenario{Algorithm: "DA", P: 8, T: 64, Q: 2, D: 4, Seed: 42}
+//	res, _ := doall.RunScenario(sc)
+//	fmt.Println(res.Sim.Work, res.Sim.Messages)
+//
+// Scenarios are plain data — the same run can come from a JSON document:
+//
+//	sc, _ := doall.ParseScenario([]byte(`{"algorithm": "PaRan1", "adversary": "crashing(crash=0@5)", "p": 8, "t": 256, "d": 4}`))
+//	res, _ := doall.RunScenario(sc)
 package doall
 
 import (
@@ -163,6 +174,21 @@ type CrashEvent struct {
 	At  int64
 }
 
+// NewSlowSetAdversary returns a d-adversary that runs the processors in
+// slow at a fraction of full speed (one step every period units) while
+// the rest run at full speed; messages are delayed by the full bound d.
+func NewSlowSetAdversary(d int64, slow []int, period int64) Adversary {
+	return adversary.NewSlowSet(d, slow, period)
+}
+
+// NewSlowSetOverAdversary is the composable form: it wraps inner so the
+// slow processors step only every period units, leaving inner's crashes
+// and message delays untouched (the "slow-set(...)" expression
+// combinator).
+func NewSlowSetOverAdversary(inner Adversary, slow []int, period int64) Adversary {
+	return adversary.NewSlowSetOver(inner, slow, period)
+}
+
 // NewLowerBoundAdversaryDet returns the Theorem 3.1 off-line adversary
 // that forces Ω(t + p·min{d,t}·log_{d+1}(d+t)) work out of deterministic
 // algorithms (machines must support cloning).
@@ -191,9 +217,49 @@ func FindDelaySchedules(k, n, d, restarts int, seed int64) Schedules {
 	return perm.FindLowDContentionList(k, n, d, restarts, r).List
 }
 
+// ScheduleSearchResult describes a schedule list found by one of the
+// search functions together with its (estimated or exact) contention and
+// how many candidates were examined.
+type ScheduleSearchResult = perm.SearchResult
+
+// SearchSchedules searches for a list of k low-contention permutations of
+// {0,…,n-1} (Lemma 4.1), reporting the contention found; FindSchedules is
+// the list-only convenience form.
+func SearchSchedules(k, n, restarts int, seed int64) ScheduleSearchResult {
+	r := rand.New(rand.NewSource(seed))
+	return perm.FindLowContentionList(k, n, restarts, r)
+}
+
+// SearchDelaySchedules searches for a list of k permutations of {0,…,n-1}
+// with low d-contention (Corollary 4.5), reporting the contention found.
+func SearchDelaySchedules(k, n, d, restarts int, seed int64) ScheduleSearchResult {
+	r := rand.New(rand.NewSource(seed))
+	return perm.FindLowDContentionList(k, n, d, restarts, r)
+}
+
+// RandomSchedules returns k uniformly random permutations of {0,…,n-1}.
+func RandomSchedules(k, n int, seed int64) Schedules {
+	r := rand.New(rand.NewSource(seed))
+	return perm.RandomList(k, n, r)
+}
+
 // Contention returns the exact contention Cont(Σ) of a schedule list
 // (exponential in the permutation length; intended for small n).
 func Contention(s Schedules) int { return perm.Cont(s) }
+
+// DContentionEstimate lower-estimates the d-contention of a schedule list
+// by probing `samples` random completion orders.
+func DContentionEstimate(s Schedules, d, samples int, seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return perm.DContEstimate(s, d, samples, r)
+}
+
+// HarmonicBound returns ⌈3·n·H_n⌉, the Lemma 4.1 contention bound.
+func HarmonicBound(n int) int { return perm.HarmonicBound(n) }
+
+// DContentionBound returns the Theorem 4.4/Corollary 4.5 bound
+// n·ln n + 8·p·d·ln(e + n/d) on the d-contention of p schedules over [n].
+func DContentionBound(n, p, d int) float64 { return perm.DContBound(n, p, d) }
 
 // DContention returns the exact d-contention (d)-Cont(Σ) of a schedule
 // list (exponential in the permutation length).
@@ -210,6 +276,10 @@ func DAUpperBound(p, t, d int, eps float64) float64 { return bounds.DAUpperBound
 // PAUpperBound evaluates the O(t·log p + p·min{t,d}·log(2+t/d)) work
 // bound of Theorems 6.2/6.3 (constants suppressed).
 func PAUpperBound(p, t, d int) float64 { return bounds.PAUpperBound(p, t, d) }
+
+// ObliviousWork returns p·t, the work of the communication-free oblivious
+// algorithm (Proposition 2.2's ceiling).
+func ObliviousWork(p, t int) float64 { return bounds.ObliviousWork(p, t) }
 
 // DefaultRunConfig returns a RunConfig with sensible pacing for the
 // goroutine runtime.

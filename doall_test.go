@@ -108,6 +108,64 @@ func TestPublicAPIBounds(t *testing.T) {
 	}
 }
 
+func TestPublicAPIScenario(t *testing.T) {
+	sc := doall.Scenario{Algorithm: "PaRan1", Adversary: "crashing(slow-set(fair),crash=0@2)", P: 4, T: 16, D: 2, Seed: 3}
+	res, err := doall.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved() || res.Sim == nil {
+		t.Fatalf("scenario run: %+v", res)
+	}
+	for _, name := range []string{"fair", "random", "crashing", "slow-set", "stage-det", "stage-online"} {
+		found := false
+		for _, n := range doall.RegisteredAdversaries() {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("adversary %q not pre-registered", name)
+		}
+	}
+	if len(doall.RegisteredAlgorithms()) < 6 {
+		t.Fatalf("algorithms registered: %v", doall.RegisteredAlgorithms())
+	}
+}
+
+func TestPublicAPISweep(t *testing.T) {
+	rep := doall.NewSweepReport(doall.SweepConfig{
+		Algos:       []string{"PaRan1"},
+		Ps:          []int{4},
+		Ts:          []int{16},
+		Ds:          []int64{2},
+		Adversaries: []string{"fair", "crashing"},
+		BaseSeed:    1,
+	})
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %+v failed", c)
+		}
+	}
+}
+
+func TestPublicAPIObserver(t *testing.T) {
+	var steps int64
+	ms := doall.NewPaRan1(4, 16, 3)
+	res, err := doall.Simulate(doall.SimConfig{P: 4, T: 16, Observer: &doall.FuncObserver{
+		Step: func(pid int, now int64, r *doall.StepResult) { steps++ },
+	}}, ms, doall.NewFairAdversary(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != res.TotalSteps {
+		t.Fatalf("observed %d steps, engine counted %d", steps, res.TotalSteps)
+	}
+}
+
 func TestPublicAPIContention(t *testing.T) {
 	s := doall.FindSchedules(3, 100, 9)
 	c := doall.Contention(s)

@@ -1,6 +1,8 @@
 // Adversarial: watch the lower-bound constructions of Theorems 3.1 and
 // 3.4 squeeze work out of the algorithms, and compare the forced work
-// with the Ω(t + p·min{d,t}·log_{d+1}(d+t)) formula.
+// with the Ω(t + p·min{d,t}·log_{d+1}(d+t)) formula. Both adversaries are
+// ordinary registry names, so the whole experiment is declarative
+// Scenario specs.
 //
 //	go run ./examples/adversarial
 package main
@@ -9,10 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"doall/internal/adversary"
-	"doall/internal/bounds"
-	"doall/internal/harness"
-	"doall/internal/sim"
+	"doall"
 )
 
 func main() {
@@ -22,38 +21,27 @@ func main() {
 	)
 
 	fmt.Printf("forcing work with the lower-bound adversaries (p=%d, t=%d)\n\n", p, t)
-	fmt.Printf("%6s  %12s  %12s  %12s  %8s\n", "d", "DA+Thm3.1", "PaRan2+Thm3.4", "Ω-bound", "stages")
+	fmt.Printf("%6s  %12s  %14s  %12s\n", "d", "DA+Thm3.1", "PaRan2+Thm3.4", "Ω-bound")
 
-	for _, d := range []int{1, 4, 16, 64} {
+	for _, d := range []int64{1, 4, 16, 64} {
 		// Deterministic DA against the off-line clone-ahead adversary.
-		daMachines, err := harness.BuildMachines(harness.Spec{
-			Algo: harness.AlgoDA, P: p, T: t, D: int64(d), Seed: 1,
+		da, err := doall.RunScenario(doall.Scenario{
+			Algorithm: "DA", Adversary: "stage-det", P: p, T: t, D: d, Seed: 1,
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		det := adversary.NewStageDeterministic(int64(d), t)
-		daRes, err := sim.Run(sim.Config{P: p, T: t}, daMachines, det)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Randomized PaRan2 against the adaptive intent-observing one.
-		paMachines, err := harness.BuildMachines(harness.Spec{
-			Algo: harness.AlgoPaRan2, P: p, T: t, Seed: 2,
+		pa, err := doall.RunScenario(doall.Scenario{
+			Algorithm: "PaRan2", Adversary: "stage-online", P: p, T: t, D: d, Seed: 2,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		online := adversary.NewStageOnline(int64(d), t)
-		paRes, err := sim.Run(sim.Config{P: p, T: t}, paMachines, online)
-		if err != nil {
-			log.Fatal(err)
-		}
 
-		lb := bounds.LowerBound(p, t, d)
-		fmt.Printf("%6d  %12d  %12d  %12.0f  %2d/%2d\n",
-			d, daRes.Work, paRes.Work, lb, det.Stages, online.Stages)
+		lb := doall.LowerBound(p, t, int(d))
+		fmt.Printf("%6d  %12d  %14d  %12.0f\n", d, da.Sim.Work, pa.Sim.Work, lb)
 	}
 
 	fmt.Println("\nBoth algorithms keep solving Do-All — the adversary can stretch")

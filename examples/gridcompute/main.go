@@ -6,6 +6,10 @@
 // Tasks are idempotent — rescanning a chunk gives the same answer — which
 // is exactly the paper's task model.
 //
+// The whole setup is one Scenario with Backend "runtime": the same spec
+// that drives the simulator runs on real goroutines, with the task body
+// and crash schedule supplied as (non-serializable) run options.
+//
 //	go run ./examples/gridcompute
 package main
 
@@ -16,8 +20,7 @@ import (
 	"sync"
 	"time"
 
-	"doall/internal/core"
-	rt "doall/internal/runtime"
+	"doall"
 )
 
 const (
@@ -42,12 +45,17 @@ func main() {
 		scans  int
 	)
 
-	cfg := rt.Config{
-		P:    workers,
-		T:    chunks,
-		D:    3,
+	sc := doall.Scenario{
+		Algorithm: "PaRan2",
+		Backend:   doall.BackendRuntime,
+		P:         workers,
+		T:         chunks,
+		D:         3,
+		Seed:      99,
+	}
+
+	res, err := doall.RunScenarioWith(sc, doall.ScenarioOptions{
 		Unit: 100 * time.Microsecond,
-		Seed: 7,
 		Task: func(id int) {
 			hit := scanChunk(id)
 			mu.Lock()
@@ -60,13 +68,11 @@ func main() {
 		// Half the grid disappears early — the survivors finish the batch.
 		CrashAfter: map[int]int{1: 10, 3: 15, 5: 20},
 		Timeout:    30 * time.Second,
-	}
-
-	machines := core.NewPaRan2(workers, chunks, 99)
-	rep, err := rt.Run(cfg, machines)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep := res.Runtime
 
 	mu.Lock()
 	defer mu.Unlock()

@@ -1,50 +1,58 @@
 // Quickstart: solve a small Do-All instance with the deterministic
-// algorithm DA(q) in the simulator and print the complexity measures.
+// algorithm DA(q) through the declarative Scenario API and print the
+// complexity measures. The scenario round-trips through JSON on the way —
+// the spec you run is the spec you could have loaded from a file — and an
+// Observer hook counts broadcasts live without touching the engine.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"doall/internal/adversary"
-	"doall/internal/core"
-	"doall/internal/perm"
-	"doall/internal/sim"
+	"doall"
 )
 
 func main() {
-	const (
-		p = 8   // processors
-		t = 64  // tasks
-		q = 2   // progress-tree arity
-		d = 4   // message-delay bound (unknown to the algorithm!)
-	)
+	sc := doall.Scenario{
+		Algorithm: "DA", // resolved through the open algorithm registry
+		Adversary: "fair",
+		P:         8,  // processors
+		T:         64, // tasks
+		Q:         2,  // progress-tree arity
+		D:         4,  // message-delay bound (unknown to the algorithm!)
+		Seed:      42,
+	}
 
-	// 1. Find a low-contention schedule list Σ for the tree traversals.
-	r := rand.New(rand.NewSource(42))
-	search := perm.FindLowContentionList(q, q, 100, r)
-	fmt.Printf("schedule list: Cont(Σ) = %d (bound 3nH_n = %d)\n",
-		search.Cont, perm.HarmonicBound(q))
-
-	// 2. Build one DA machine per processor.
-	machines, err := core.NewDA(core.DAConfig{P: p, T: t, Q: q, Perms: search.List})
+	// 1. Scenarios are plain data: marshal, ship, load, run.
+	spec, err := json.Marshal(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %s\n", spec)
+	loaded, err := doall.ParseScenario(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. Run under a d-adversary. The algorithm never learns d; only the
-	//    analysis does.
-	res, err := sim.Run(sim.Config{P: p, T: t}, machines, adversary.NewFair(d))
+	// 2. Run under the d-adversary, tapping the engine's observer hooks.
+	//    The algorithm never learns d; only the analysis does.
+	var broadcasts int
+	res, err := doall.RunScenarioWith(loaded, doall.ScenarioOptions{
+		Observer: &doall.FuncObserver{
+			Multicast: func(from int, now int64, payload any, recipients int) { broadcasts++ },
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("solved: %v at global time %d\n", res.Solved, res.SolvedAt)
-	fmt.Printf("work W = %d   (oblivious algorithm would use p·t = %d)\n", res.Work, p*t)
-	fmt.Printf("messages M = %d\n", res.Messages)
+	r := res.Sim
+	fmt.Printf("solved: %v at global time %d\n", r.Solved, r.SolvedAt)
+	fmt.Printf("work W = %d   (oblivious algorithm would use p·t = %d)\n", r.Work, sc.P*sc.T)
+	fmt.Printf("messages M = %d (from %d broadcasts, observed live)\n", r.Messages, broadcasts)
 	fmt.Printf("task executions: %d primary + %d secondary\n",
-		res.PrimaryExecutions, res.SecondaryExecutions)
+		r.PrimaryExecutions, r.SecondaryExecutions)
 }

@@ -1,7 +1,9 @@
 // Renderfarm: many more tasks than processors (t ≫ p) on the goroutine
 // runtime, exercising the paper's job-partitioning rule (Sections 5.1.3
 // and 6): t tasks are grouped into p jobs of ⌈t/p⌉ tasks, and PaDet
-// schedules the jobs with a searched low-d-contention permutation list.
+// schedules the jobs with a searched low-d-contention permutation list —
+// all of which happens inside the PaDet registry builder; the example
+// only declares the Scenario.
 //
 // The "farm" renders a 32×32 image: each task shades one 16-pixel row
 // segment. Because tasks are idempotent, overlapping renders are harmless.
@@ -12,37 +14,30 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"sync/atomic"
 	"time"
 
-	"doall/internal/core"
-	"doall/internal/perm"
-	rt "doall/internal/runtime"
+	"doall"
 )
 
 const (
-	width   = 32
-	height  = 32
+	width      = 32
+	height     = 32
 	segsPerRow = 2 // 16-pixel segments
-	nodes   = 4
+	nodes      = 4
 )
 
 func main() {
 	tasks := height * segsPerRow // 64 render segments
 
-	// Schedule list: p permutations over the p jobs, searched for low
-	// d-contention (Corollary 4.5 made constructive).
-	jobs := core.NewJobs(nodes, tasks)
-	r := rand.New(rand.NewSource(5))
-	search := perm.FindLowDContentionList(nodes, jobs.N, 2, 100, r)
-	fmt.Printf("schedule: %d jobs of ≤%d segments, (2)-Cont(Σ) = %d\n",
-		jobs.N, jobs.MaxSize(), search.Cont)
-
-	machines, err := core.NewPaDet(nodes, tasks, search.List)
-	if err != nil {
-		log.Fatal(err)
+	// t ≫ p: the PaDet builder partitions the segments into p jobs of
+	// ⌈t/p⌉ and searches a low-d-contention schedule list over them.
+	jobs := nodes
+	if tasks < nodes {
+		jobs = tasks
 	}
+	fmt.Printf("schedule: %d jobs of ≤%d segments each, searched by the PaDet builder\n",
+		jobs, (tasks+nodes-1)/nodes)
 
 	// The framebuffer: one atomic word per segment so concurrent renders
 	// of the same segment (idempotent) are safe.
@@ -54,17 +49,22 @@ func main() {
 		frame[id].Store(uint32(row*131 + seg*17 + 7))
 	}
 
-	rep, err := rt.Run(rt.Config{
-		P:    nodes,
-		T:    tasks,
-		D:    2,
+	res, err := doall.RunScenarioWith(doall.Scenario{
+		Algorithm:      "PaDet",
+		Backend:        doall.BackendRuntime,
+		P:              nodes,
+		T:              tasks,
+		D:              2,
+		Seed:           5,
+		SearchRestarts: 100,
+	}, doall.ScenarioOptions{
 		Unit: 100 * time.Microsecond,
-		Seed: 11,
 		Task: shade,
-	}, machines)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep := res.Runtime
 
 	rendered := 0
 	for i := range frame {

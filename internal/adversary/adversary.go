@@ -169,6 +169,9 @@ func (a *Crashing) Schedule(v *sim.View) sim.Decision {
 		}
 	}
 	for _, e := range a.Events {
+		if e.Pid < 0 || e.Pid >= v.P {
+			continue
+		}
 		if e.At == v.Now && live > 1 && !v.Crashed[e.Pid] {
 			dec.Crash = append(dec.Crash, e.Pid)
 			live--
@@ -254,5 +257,87 @@ func (a *SlowSet) Delay(from, to int, sentAt int64) int64 { return a.Bound }
 func (a *SlowSet) DelayMulticast(from int, sentAt int64, out []int64) {
 	for j := range out {
 		out[j] = a.Bound
+	}
+}
+
+// SlowSetOver is the composable form of SlowSet: it wraps another
+// adversary and removes the designated slow processors from its schedule
+// except every Period-th unit, leaving the inner adversary's crashes and
+// message delays untouched. Composition makes mixed scenarios declarative —
+// e.g. Crashing over SlowSetOver over Fair gives a network with fixed
+// delays, a persistently slow subset, and scheduled crash failures. With a
+// Fair inner adversary it produces exactly the Results of the standalone
+// SlowSet (asserted by tests).
+//
+// Unlike the standalone SlowSet, SlowSetOver never adds a NextWake
+// promise of its own: skipping to the next period boundary would also
+// skip the inner adversary's per-unit Schedule calls, and those may carry
+// time-dependent side effects (crash injection, stage bookkeeping) that
+// the engine's fast-forward must not jump over. It only forwards promises
+// the inner adversary itself makes. Prefer plain SlowSet when no inner
+// composition is needed.
+type SlowSetOver struct {
+	Inner  sim.Adversary
+	Slow   map[int]bool
+	Period int64
+	buf    []int
+}
+
+var (
+	_ sim.Adversary        = (*SlowSetOver)(nil)
+	_ sim.MulticastDelayer = (*SlowSetOver)(nil)
+)
+
+// NewSlowSetOver wraps inner so processors in slow step only every period
+// units (when inner schedules them at all).
+func NewSlowSetOver(inner sim.Adversary, slow []int, period int64) *SlowSetOver {
+	m := make(map[int]bool, len(slow))
+	for _, i := range slow {
+		m[i] = true
+	}
+	if period < 1 {
+		period = 1
+	}
+	return &SlowSetOver{Inner: inner, Slow: m, Period: period}
+}
+
+// D implements sim.Adversary.
+func (a *SlowSetOver) D() int64 { return a.Inner.D() }
+
+// Schedule implements sim.Adversary: the inner decision filtered to drop
+// slow processors off-period. The inner adversary's NextWake promise stays
+// valid — filtering only removes activations, never adds them — so idle
+// fast-forwarding still works when the inner adversary promises it.
+func (a *SlowSetOver) Schedule(v *sim.View) sim.Decision {
+	dec := a.Inner.Schedule(v)
+	offPeriod := v.Now%a.Period != 0
+	if offPeriod {
+		a.buf = a.buf[:0]
+		for _, i := range dec.Active {
+			if !a.Slow[i] {
+				a.buf = append(a.buf, i)
+			}
+		}
+		dec.Active = a.buf
+	}
+	return dec
+}
+
+// Delay implements sim.Adversary.
+func (a *SlowSetOver) Delay(from, to int, sentAt int64) int64 {
+	return a.Inner.Delay(from, to, sentAt)
+}
+
+// DelayMulticast implements sim.MulticastDelayer, forwarding to the inner
+// adversary's batched path when it has one.
+func (a *SlowSetOver) DelayMulticast(from int, sentAt int64, out []int64) {
+	if md, ok := a.Inner.(sim.MulticastDelayer); ok {
+		md.DelayMulticast(from, sentAt, out)
+		return
+	}
+	for j := range out {
+		if j != from {
+			out[j] = a.Inner.Delay(from, j, sentAt)
+		}
 	}
 }

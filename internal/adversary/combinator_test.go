@@ -1,0 +1,65 @@
+package adversary_test
+
+import (
+	"reflect"
+	"testing"
+
+	"doall/internal/adversary"
+	"doall/internal/core"
+	"doall/internal/sim"
+)
+
+// TestSlowSetOverFairMatchesStandalone asserts the combinator contract:
+// SlowSetOver with a Fair inner adversary reproduces the standalone
+// SlowSet's Results exactly, for both a partial and an all-slow set (the
+// latter exercises the idle units the standalone version fast-forwards).
+func TestSlowSetOverFairMatchesStandalone(t *testing.T) {
+	const p, tasks, d, period = 6, 24, 3, 5
+	for _, tc := range []struct {
+		name string
+		slow []int
+	}{
+		{"half-slow", []int{0, 2, 4}},
+		{"all-slow", []int{0, 1, 2, 3, 4, 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(adv sim.Adversary) *sim.Result {
+				t.Helper()
+				ms := core.NewPaRan1(p, tasks, 31)
+				res, err := sim.Run(sim.Config{P: p, T: tasks}, ms, adv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			standalone := run(adversary.NewSlowSet(d, tc.slow, period))
+			composed := run(adversary.NewSlowSetOver(adversary.NewFair(d), tc.slow, period))
+			if !reflect.DeepEqual(standalone, composed) {
+				t.Fatalf("Results diverged:\nstandalone: %+v\ncomposed:   %+v", standalone, composed)
+			}
+		})
+	}
+}
+
+// TestCrashingOverSlowSetOver runs the three-layer composition the
+// scenario expression `crashing(slow-set(fair))` builds and checks the
+// crashes land and the problem still solves.
+func TestCrashingOverSlowSetOver(t *testing.T) {
+	const p, tasks, d = 4, 16, 2
+	inner := adversary.NewSlowSetOver(adversary.NewFair(d), []int{1, 3}, 4)
+	adv := adversary.NewCrashing(inner, []adversary.CrashEvent{{Pid: 0, At: 3}})
+	ms := core.NewPaRan2(p, tasks, 13)
+	var crashed []int
+	res, err := sim.Run(sim.Config{P: p, T: tasks, Observer: &sim.FuncObserver{
+		Crash: func(pid int, now int64) { crashed = append(crashed, pid) },
+	}}, ms, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("not solved under composed adversary")
+	}
+	if len(crashed) != 1 || crashed[0] != 0 {
+		t.Fatalf("observed crashes %v, want [0]", crashed)
+	}
+}

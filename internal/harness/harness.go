@@ -4,43 +4,53 @@
 // cmd/experiments and the benchmark suite: every experiment in DESIGN.md's
 // index (E1–E10) is a function here returning a Table whose rows pair
 // measured work/messages with the paper's closed-form bounds.
+//
+// Construction is registry-driven: Spec is a thin veneer over
+// scenario.Scenario, and BuildMachines/BuildAdversary/Execute resolve
+// names through the open registries (scenario.RegisterAlgorithm /
+// RegisterAdversary) instead of switch statements. Spec.Adversary
+// therefore accepts full adversary expressions — "fair", "crashing",
+// "crashing(slow-set(fair),crash=0@5)", … — not just flat names.
 package harness
 
 import (
 	"fmt"
-	"math/rand"
 
-	"doall/internal/adversary"
-	"doall/internal/core"
-	"doall/internal/perm"
+	"doall/internal/scenario"
 	"doall/internal/sim"
 )
 
-// Algo identifies one of the implemented Do-All algorithms.
-type Algo string
+// Algo names a registered Do-All algorithm. It is a plain string alias so
+// algorithm lists interoperate with the scenario registry directly.
+type Algo = string
 
-// The implemented algorithms.
+// The pre-registered algorithms.
 const (
-	AlgoAllToAll Algo = "AllToAll"
-	AlgoObliDo   Algo = "ObliDo"
-	AlgoDA       Algo = "DA"
-	AlgoPaRan1   Algo = "PaRan1"
-	AlgoPaRan2   Algo = "PaRan2"
-	AlgoPaDet    Algo = "PaDet"
+	AlgoAllToAll Algo = scenario.AlgoAllToAll
+	AlgoObliDo   Algo = scenario.AlgoObliDo
+	AlgoDA       Algo = scenario.AlgoDA
+	AlgoPaRan1   Algo = scenario.AlgoPaRan1
+	AlgoPaRan2   Algo = scenario.AlgoPaRan2
+	AlgoPaDet    Algo = scenario.AlgoPaDet
 )
 
-// Adv identifies an adversary strategy.
-type Adv string
+// Adv is an adversary expression over the registered adversary names.
+type Adv = string
 
-// The available adversaries.
+// The pre-registered adversaries (each also usable as an expression head
+// with parameters, e.g. "crashing(crash=0@5)").
 const (
-	AdvFair        Adv = "fair"         // full speed, every message delayed exactly d
-	AdvRandom      Adv = "random"       // random activity and delays in [1, d]
-	AdvStageDet    Adv = "stage-det"    // Theorem 3.1 off-line construction
-	AdvStageOnline Adv = "stage-online" // Theorem 3.4 adaptive construction
+	AdvFair        Adv = scenario.AdvFair
+	AdvRandom      Adv = scenario.AdvRandom
+	AdvCrashing    Adv = scenario.AdvCrashing
+	AdvSlowSet     Adv = scenario.AdvSlowSet
+	AdvStageDet    Adv = scenario.AdvStageDet
+	AdvStageOnline Adv = scenario.AdvStageOnline
 )
 
-// Spec declares one simulation run.
+// Spec declares one simulation run. It mirrors scenario.Scenario field
+// for field (Scenario() converts) and is kept for the experiment tables
+// and benchmarks that predate the Scenario API.
 type Spec struct {
 	Algo Algo
 	P, T int
@@ -48,7 +58,7 @@ type Spec struct {
 	Q int
 	// D is the message-delay bound.
 	D int64
-	// Adversary selects the d-adversary (default AdvFair).
+	// Adversary selects the d-adversary expression (default AdvFair).
 	Adversary Adv
 	// Seed drives all randomness (schedule search, machine randomness,
 	// random adversary).
@@ -59,85 +69,45 @@ type Spec struct {
 	MaxSteps int64
 }
 
-func (s Spec) withDefaults() Spec {
-	if s.Q == 0 {
-		s.Q = 2
-	}
-	if s.Adversary == "" {
-		s.Adversary = AdvFair
-	}
-	if s.SearchRestarts == 0 {
-		s.SearchRestarts = 32
-	}
-	if s.D == 0 {
-		s.D = 1
-	}
-	return s
+// Scenario converts the spec to its declarative form.
+func (s Spec) Scenario() scenario.Scenario {
+	return scenario.Scenario{
+		Algorithm:      s.Algo,
+		Adversary:      s.Adversary,
+		P:              s.P,
+		T:              s.T,
+		Q:              s.Q,
+		D:              s.D,
+		Seed:           s.Seed,
+		SearchRestarts: s.SearchRestarts,
+		MaxSteps:       s.MaxSteps,
+	}.WithDefaults()
 }
 
-// BuildMachines constructs the processor machines for the spec.
+// BuildMachines constructs the processor machines for the spec through
+// the algorithm registry.
 func BuildMachines(s Spec) ([]sim.Machine, error) {
-	s = s.withDefaults()
-	r := rand.New(rand.NewSource(s.Seed))
-	switch s.Algo {
-	case AlgoAllToAll:
-		return core.NewAllToAll(s.P, s.T), nil
-	case AlgoObliDo:
-		jobs := core.NewJobs(s.P, s.T)
-		l := perm.RandomList(s.P, jobs.N, r)
-		return core.NewObliDo(s.P, s.T, l), nil
-	case AlgoDA:
-		l := perm.FindLowContentionList(s.Q, s.Q, s.SearchRestarts, r).List
-		return core.NewDA(core.DAConfig{P: s.P, T: s.T, Q: s.Q, Perms: l})
-	case AlgoPaRan1:
-		return core.NewPaRan1(s.P, s.T, s.Seed), nil
-	case AlgoPaRan2:
-		return core.NewPaRan2(s.P, s.T, s.Seed), nil
-	case AlgoPaDet:
-		jobs := core.NewJobs(s.P, s.T)
-		l := perm.FindLowDContentionList(s.P, jobs.N, int(s.D), s.SearchRestarts, r).List
-		return core.NewPaDet(s.P, s.T, l)
-	default:
-		return nil, fmt.Errorf("harness: unknown algorithm %q", s.Algo)
-	}
+	return s.Scenario().Machines()
 }
 
-// BuildAdversary constructs the adversary for the spec.
+// BuildAdversary constructs the adversary for the spec through the
+// adversary registry (resolving combinator expressions).
 func BuildAdversary(s Spec) (sim.Adversary, error) {
-	s = s.withDefaults()
-	switch s.Adversary {
-	case AdvFair:
-		return adversary.NewFair(s.D), nil
-	case AdvRandom:
-		return adversary.NewRandom(s.D, 0.75, s.Seed^0x5eed), nil
-	case AdvStageDet:
-		return adversary.NewStageDeterministic(s.D, s.T), nil
-	case AdvStageOnline:
-		return adversary.NewStageOnline(s.D, s.T), nil
-	default:
-		return nil, fmt.Errorf("harness: unknown adversary %q", s.Adversary)
-	}
+	return s.Scenario().BuildAdversary()
 }
 
-// Execute builds and runs the spec once.
+// Execute builds and runs the spec once. Like sim.Run, it returns a
+// partial Result alongside step-cap errors.
 func Execute(s Spec) (*sim.Result, error) {
-	s = s.withDefaults()
-	ms, err := BuildMachines(s)
-	if err != nil {
+	out, err := scenario.Run(s.Scenario())
+	if out == nil {
 		return nil, err
 	}
-	adv, err := BuildAdversary(s)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(sim.Config{P: s.P, T: s.T, MaxSteps: s.MaxSteps}, ms, adv)
+	return out.Sim, err
 }
 
 // Avg holds trial-averaged complexity measures.
-type Avg struct {
-	Work, Messages, Time float64
-	Trials               int
-}
+type Avg = scenario.Avg
 
 // ExecuteAvg runs the spec `trials` times with seeds seed, seed+1, … and
 // averages work, messages, and completion time. Use it for randomized
@@ -147,21 +117,11 @@ func ExecuteAvg(s Spec, trials int) (Avg, error) {
 	if trials < 1 {
 		trials = 1
 	}
-	var a Avg
-	for i := 0; i < trials; i++ {
-		run := s
-		run.Seed = s.Seed + int64(i)
-		res, err := Execute(run)
-		if err != nil {
-			return Avg{}, fmt.Errorf("harness: trial %d: %w", i, err)
-		}
-		a.Work += float64(res.Work)
-		a.Messages += float64(res.Messages)
-		a.Time += float64(res.SolvedAt)
+	sc := s.Scenario()
+	sc.Trials = trials
+	a, err := scenario.RunAvg(sc)
+	if err != nil {
+		return Avg{}, fmt.Errorf("harness: %w", err)
 	}
-	a.Work /= float64(trials)
-	a.Messages /= float64(trials)
-	a.Time /= float64(trials)
-	a.Trials = trials
 	return a, nil
 }

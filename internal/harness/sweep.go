@@ -1,207 +1,29 @@
 package harness
 
-import (
-	"encoding/json"
-	"hash/fnv"
-	"io"
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
+import "doall/internal/scenario"
+
+// The sharded (algorithm, adversary, p, t, d) sweep runner lives in
+// internal/scenario (it operates on Scenarios); these aliases keep the
+// harness vocabulary working for the experiment tables, benchmarks, and
+// BENCH_*.json tooling that grew up around it.
+type (
+	// SweepConfig declares an (algorithm, adversary, p, t, d) grid.
+	SweepConfig = scenario.SweepConfig
+	// Cell is one measured grid point of a sweep.
+	Cell = scenario.Cell
+	// SweepReport is the JSON envelope of a sweep (the BENCH_*.json
+	// schema).
+	SweepReport = scenario.SweepReport
 )
 
-// SweepConfig declares a (p, t, d, algorithm) grid to measure. The sweep
-// runner is the scale harness behind cmd/experiments -sweep and the
-// BENCH_*.json perf baselines: it fans the grid's cells across worker
-// goroutines (cells are independent simulations, so sharding is trivially
-// safe) while keeping every cell's seed — and therefore every cell's
-// Result — deterministic regardless of worker count or scheduling.
-type SweepConfig struct {
-	// Algos, Ps, Ts, Ds span the grid; every combination is one cell.
-	Algos []Algo
-	Ps    []int
-	Ts    []int
-	Ds    []int64
-	// Adversary applies to every cell (default AdvFair).
-	Adversary Adv
-	// BaseSeed feeds the per-cell seed derivation (CellSeed).
-	BaseSeed int64
-	// Trials runs each cell this many times with seeds seed, seed+1, …
-	// and averages (default 1).
-	Trials int
-	// Workers bounds sweep concurrency; 0 means GOMAXPROCS.
-	Workers int
-	// MaxSteps overrides the simulator step cap per run (0 = default).
-	MaxSteps int64
-}
-
-func (c SweepConfig) withDefaults() SweepConfig {
-	if c.Adversary == "" {
-		c.Adversary = AdvFair
-	}
-	if c.Trials < 1 {
-		c.Trials = 1
-	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
-	return c
-}
-
-// Cell is one measured grid point of a sweep.
-type Cell struct {
-	Algo   Algo  `json:"algo"`
-	P      int   `json:"p"`
-	T      int   `json:"t"`
-	D      int64 `json:"d"`
-	Seed   int64 `json:"seed"`
-	Trials int   `json:"trials"`
-	// Work, Messages, and SolvedAt are trial averages of the paper's
-	// complexity measures (Definitions 2.1/2.2).
-	Work     float64 `json:"work"`
-	Messages float64 `json:"messages"`
-	SolvedAt float64 `json:"solved_at"`
-	// NsPerRun is wall-clock nanoseconds per simulation run (engine
-	// throughput, not a model quantity).
-	NsPerRun int64 `json:"ns_per_run"`
-	// Err is non-empty when the cell failed (e.g. step cap exceeded).
-	Err string `json:"err,omitempty"`
-}
-
-// CellSeed derives the deterministic seed of one grid cell: an FNV-1a
-// hash of the cell coordinates folded with the base seed, so a cell's
-// randomness depends only on what the cell is, never on sweep order,
-// worker count, or which other cells share the grid.
+// CellSeed derives the deterministic seed of one grid cell; see
+// scenario.CellSeed.
 func CellSeed(base int64, algo Algo, p, t int, d int64) int64 {
-	h := fnv.New64a()
-	io.WriteString(h, string(algo))
-	var buf [8]byte
-	for _, v := range []int64{int64(p), int64(t), d, base} {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	s := int64(h.Sum64() >> 1) // keep it non-negative
-	if s == 0 {
-		s = 1
-	}
-	return s
+	return scenario.CellSeed(base, algo, p, t, d)
 }
 
-// Specs enumerates the grid cells in deterministic order (algorithm-major,
-// then p, t, d).
-func (c SweepConfig) Specs() []Spec {
-	c = c.withDefaults()
-	specs := make([]Spec, 0, len(c.Algos)*len(c.Ps)*len(c.Ts)*len(c.Ds))
-	for _, algo := range c.Algos {
-		for _, p := range c.Ps {
-			for _, t := range c.Ts {
-				for _, d := range c.Ds {
-					specs = append(specs, Spec{
-						Algo:      algo,
-						P:         p,
-						T:         t,
-						D:         d,
-						Adversary: c.Adversary,
-						Seed:      CellSeed(c.BaseSeed, algo, p, t, d),
-						MaxSteps:  c.MaxSteps,
-					})
-				}
-			}
-		}
-	}
-	return specs
-}
-
-// RunSweep measures every cell of the grid, sharding cells across Workers
-// goroutines via a shared cursor. Results are returned in Specs order and
-// are byte-for-byte identical for any worker count: each cell builds its
-// own machines and adversary from its own derived seed, so no state is
-// shared between shards.
-func RunSweep(c SweepConfig) []Cell {
-	c = c.withDefaults()
-	specs := c.Specs()
-	cells := make([]Cell, len(specs))
-	workers := c.Workers
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(specs) {
-					return
-				}
-				cells[i] = runCell(specs[i], c.Trials)
-			}
-		}()
-	}
-	wg.Wait()
-	return cells
-}
-
-// runCell executes one grid cell's trials and averages the measures.
-func runCell(s Spec, trials int) Cell {
-	cell := Cell{Algo: s.Algo, P: s.P, T: s.T, D: s.D, Seed: s.Seed, Trials: trials}
-	start := time.Now()
-	for i := 0; i < trials; i++ {
-		run := s
-		run.Seed = s.Seed + int64(i)
-		res, err := Execute(run)
-		if err != nil {
-			// Drop the partial sums: a failed cell reports only its error,
-			// never a misleading fraction of an average.
-			cell.Work, cell.Messages, cell.SolvedAt = 0, 0, 0
-			cell.Err = err.Error()
-			return cell
-		}
-		cell.Work += float64(res.Work)
-		cell.Messages += float64(res.Messages)
-		cell.SolvedAt += float64(res.SolvedAt)
-	}
-	cell.NsPerRun = time.Since(start).Nanoseconds() / int64(trials)
-	cell.Work /= float64(trials)
-	cell.Messages /= float64(trials)
-	cell.SolvedAt /= float64(trials)
-	return cell
-}
-
-// SweepReport is the JSON envelope written by cmd/experiments -sweep;
-// BENCH_*.json files at the repo root follow this schema so successive
-// PRs can compare per-cell work/messages/ns trajectories.
-type SweepReport struct {
-	// Engine identifies the execution engine that produced the numbers.
-	Engine string `json:"engine"`
-	// GoMaxProcs records the worker ceiling the sweep ran under.
-	GoMaxProcs int `json:"gomaxprocs"`
-	// Adversary is the grid-wide adversary.
-	Adversary Adv `json:"adversary"`
-	// BaseSeed reproduces the sweep exactly.
-	BaseSeed int64  `json:"base_seed"`
-	Cells    []Cell `json:"cells"`
-}
+// RunSweep measures every cell of the grid; see scenario.RunSweep.
+func RunSweep(c SweepConfig) []Cell { return scenario.RunSweep(c) }
 
 // NewSweepReport runs the sweep and wraps it for serialization.
-func NewSweepReport(c SweepConfig) SweepReport {
-	c = c.withDefaults()
-	return SweepReport{
-		Engine:     "multicast-wheel",
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Adversary:  c.Adversary,
-		BaseSeed:   c.BaseSeed,
-		Cells:      RunSweep(c),
-	}
-}
-
-// WriteJSON serializes the report with stable formatting.
-func (r SweepReport) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
-}
+func NewSweepReport(c SweepConfig) SweepReport { return scenario.NewSweepReport(c) }

@@ -1,0 +1,256 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Adversary expressions.
+//
+// A Scenario's Adversary field is not just a name but a small composable
+// expression language, so specs can declare layered asynchrony without new
+// Go code:
+//
+//	fair                               the benign d-adversary
+//	fair(delay=2)                      fixed delay 2 ≤ d
+//	random(activity=0.5)               random activity, uniform delays
+//	crashing(crash=0@3, crash=2@9)     crash pid 0 at t=3, pid 2 at t=9
+//	slow-set(slow=1, slow=3, period=8) pids 1 and 3 step every 8th unit
+//	crashing(slow-set(fair))           composition: crashes over a slow
+//	                                   subset over fixed delays
+//
+// Grammar:
+//
+//	expr  := name [ '(' args ')' ]
+//	args  := arg { ',' arg }
+//	arg   := key '=' value | expr
+//
+// A key=value argument parameterizes the adversary itself; a nested expr
+// becomes an inner adversary handed to the builder (combinators like
+// crashing and slow-set wrap their inner adversary, defaulting to fair).
+// Keys may repeat (crash=..., crash=...) to build lists. Whitespace is
+// insignificant outside names and values.
+
+// Param is one key=value argument of an adversary expression, in source
+// order. Keys may repeat.
+type Param struct {
+	Key, Value string
+}
+
+// advExpr is a parsed adversary expression node.
+type advExpr struct {
+	name   string
+	params []Param
+	inners []*advExpr
+}
+
+// String reconstructs the canonical form of the expression.
+func (e *advExpr) String() string {
+	if len(e.params) == 0 && len(e.inners) == 0 {
+		return e.name
+	}
+	var args []string
+	for _, in := range e.inners {
+		args = append(args, in.String())
+	}
+	for _, p := range e.params {
+		args = append(args, p.Key+"="+p.Value)
+	}
+	return e.name + "(" + strings.Join(args, ",") + ")"
+}
+
+// parseAdvExpr parses one complete adversary expression.
+func parseAdvExpr(s string) (*advExpr, error) {
+	p := &exprParser{src: s}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("scenario: trailing input %q in adversary expression %q", p.src[p.pos:], s)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// ident consumes a name: letters, digits, '-', '_', '.'.
+func (p *exprParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+// value consumes a parameter value: everything up to the next top-level
+// ',' or ')'. Values cannot nest parentheses.
+func (p *exprParser) value() string {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != ',' && p.src[p.pos] != ')' {
+		p.pos++
+	}
+	return strings.TrimSpace(p.src[start:p.pos])
+}
+
+func (p *exprParser) expr() (*advExpr, error) {
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return nil, fmt.Errorf("scenario: expected adversary name at offset %d of %q", p.pos, p.src)
+	}
+	e := &advExpr{name: name}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return e, nil
+	}
+	p.pos++ // consume '('
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ')' {
+		p.pos++
+		return e, nil
+	}
+	for {
+		if err := p.arg(e); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("scenario: unterminated argument list in adversary expression %q", p.src)
+		}
+		switch p.src[p.pos] {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return e, nil
+		default:
+			return nil, fmt.Errorf("scenario: unexpected %q at offset %d of %q", p.src[p.pos], p.pos, p.src)
+		}
+	}
+}
+
+// arg parses one argument: a nested expression or key=value.
+func (p *exprParser) arg(e *advExpr) error {
+	p.skipSpace()
+	save := p.pos
+	name := p.ident()
+	if name == "" {
+		return fmt.Errorf("scenario: expected argument at offset %d of %q", p.pos, p.src)
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '=' {
+		p.pos++
+		e.params = append(e.params, Param{Key: name, Value: p.value()})
+		return nil
+	}
+	// Not key=value: re-parse as a nested expression.
+	p.pos = save
+	inner, err := p.expr()
+	if err != nil {
+		return err
+	}
+	e.inners = append(e.inners, inner)
+	return nil
+}
+
+// AdversaryContext is what an AdversaryBuilder receives: the (defaulted)
+// scenario for D/T/P/Seed defaults, the already-built inner adversaries of
+// nested sub-expressions (in source order), and the key=value parameters.
+type AdversaryContext struct {
+	// Scenario is the defaulted scenario the adversary is built for.
+	Scenario Scenario
+	// Inners holds the built adversaries of nested sub-expressions.
+	Inners []Adversary
+	// Params holds the key=value arguments in source order.
+	Params []Param
+}
+
+// Param returns the first value of key, if present.
+func (c *AdversaryContext) Param(key string) (string, bool) {
+	for _, p := range c.Params {
+		if p.Key == key {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// ParamAll returns every value of key in source order.
+func (c *AdversaryContext) ParamAll(key string) []string {
+	var vals []string
+	for _, p := range c.Params {
+		if p.Key == key {
+			vals = append(vals, p.Value)
+		}
+	}
+	return vals
+}
+
+// IntParam returns key parsed as int64, or def when absent.
+func (c *AdversaryContext) IntParam(key string, def int64) (int64, error) {
+	v, ok := c.Param(key)
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: adversary parameter %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+// FloatParam returns key parsed as float64, or def when absent.
+func (c *AdversaryContext) FloatParam(key string, def float64) (float64, error) {
+	v, ok := c.Param(key)
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: adversary parameter %s=%q is not a number", key, v)
+	}
+	return f, nil
+}
+
+// checkParams rejects unknown parameter keys so typos fail loudly instead
+// of silently falling back to defaults.
+func (c *AdversaryContext) checkParams(allowed ...string) error {
+	for _, p := range c.Params {
+		ok := false
+		for _, a := range allowed {
+			if p.Key == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("scenario: unknown adversary parameter %q (allowed: %s)", p.Key, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// maxInners rejects surplus nested expressions.
+func (c *AdversaryContext) maxInners(n int) error {
+	if len(c.Inners) > n {
+		return fmt.Errorf("scenario: adversary takes at most %d inner adversaries, got %d", n, len(c.Inners))
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAdvExpr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() form
+	}{
+		{"fair", "fair"},
+		{"fair()", "fair"},
+		{" fair ", "fair"},
+		{"fair(delay=2)", "fair(delay=2)"},
+		{"random(activity=0.5, seed=9)", "random(activity=0.5,seed=9)"},
+		{"crashing(crash=0@3, crash=2@9)", "crashing(crash=0@3,crash=2@9)"},
+		{"crashing(fair)", "crashing(fair)"},
+		{"crashing(slow-set(fair))", "crashing(slow-set(fair))"},
+		{"crashing(slow-set(fair, slow=1, period=8), crash=0@5)", "crashing(slow-set(fair,slow=1,period=8),crash=0@5)"},
+		{"slow-set( random(activity=0.9) , period=2 )", "slow-set(random(activity=0.9),period=2)"},
+	}
+	for _, tc := range cases {
+		e, err := parseAdvExpr(tc.in)
+		if err != nil {
+			t.Errorf("parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseAdvExprErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"(",
+		"fair(",
+		"fair(delay=2",
+		"fair)x",
+		"fair(,)",
+		"crashing(fair))",
+		"fair extra",
+	} {
+		if _, err := parseAdvExpr(in); err == nil {
+			t.Errorf("parse(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestParseAdvExprNested(t *testing.T) {
+	e, err := parseAdvExpr("crashing(slow-set(fair,slow=3),crash=1@4,crash=2@6)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.name != "crashing" || len(e.inners) != 1 || len(e.params) != 2 {
+		t.Fatalf("unexpected shape: %+v", e)
+	}
+	inner := e.inners[0]
+	if inner.name != "slow-set" || len(inner.inners) != 1 || inner.inners[0].name != "fair" {
+		t.Fatalf("unexpected inner shape: %+v", inner)
+	}
+	if inner.params[0] != (Param{Key: "slow", Value: "3"}) {
+		t.Fatalf("inner params = %+v", inner.params)
+	}
+}
+
+func TestAdversaryContextParams(t *testing.T) {
+	ctx := &AdversaryContext{Params: []Param{
+		{"crash", "0@1"}, {"crash", "2@3"}, {"period", "7"}, {"activity", "0.5"},
+	}}
+	if got := ctx.ParamAll("crash"); len(got) != 2 || got[0] != "0@1" || got[1] != "2@3" {
+		t.Fatalf("ParamAll(crash) = %v", got)
+	}
+	if v, err := ctx.IntParam("period", 4); err != nil || v != 7 {
+		t.Fatalf("IntParam(period) = %d, %v", v, err)
+	}
+	if v, err := ctx.IntParam("missing", 4); err != nil || v != 4 {
+		t.Fatalf("IntParam(missing) = %d, %v", v, err)
+	}
+	if v, err := ctx.FloatParam("activity", 1); err != nil || v != 0.5 {
+		t.Fatalf("FloatParam(activity) = %v, %v", v, err)
+	}
+	if _, err := ctx.IntParam("activity", 0); err == nil {
+		t.Fatal("IntParam on a float accepted")
+	}
+	if err := ctx.checkParams("crash", "period", "activity"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.checkParams("crash"); err == nil || !strings.Contains(err.Error(), "period") {
+		t.Fatalf("checkParams missed unknown key: %v", err)
+	}
+}

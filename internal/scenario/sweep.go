@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SweepConfig declares an (algorithm, adversary, p, t, d) grid to measure.
+// The sweep runner is the scale harness behind cmd/experiments -sweep and
+// the BENCH_*.json perf baselines: it fans the grid's cells across worker
+// goroutines (cells are independent simulations, so sharding is trivially
+// safe) while keeping every cell's seed — and therefore every cell's
+// Result — deterministic regardless of worker count or scheduling.
+type SweepConfig struct {
+	// Algos, Ps, Ts, Ds span the grid; every combination is one cell.
+	Algos []string
+	Ps    []int
+	Ts    []int
+	Ds    []int64
+	// Adversary applies to every cell (default "fair") when Adversaries
+	// is empty.
+	Adversary string
+	// Adversaries, when non-empty, adds an adversary-expression axis to
+	// the grid: every cell is measured under every listed expression.
+	Adversaries []string
+	// BaseSeed feeds the per-cell seed derivation (CellSeed).
+	BaseSeed int64
+	// Trials runs each cell this many times with seeds seed, seed+1, …
+	// and averages (default 1).
+	Trials int
+	// Workers bounds sweep concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// MaxSteps overrides the simulator step cap per run (0 = default).
+	MaxSteps int64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Adversary == "" {
+		c.Adversary = AdvFair
+	}
+	if len(c.Adversaries) == 0 {
+		c.Adversaries = []string{c.Adversary}
+	}
+	if c.Trials < 1 {
+		c.Trials = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Cell is one measured grid point of a sweep.
+type Cell struct {
+	Algo string `json:"algo"`
+	// Adversary is the cell's adversary expression. Baselines recorded
+	// before the adversary axis existed (BENCH_0.json) omit it; empty
+	// means the report-wide adversary.
+	Adversary string `json:"adversary,omitempty"`
+	P         int    `json:"p"`
+	T         int    `json:"t"`
+	D         int64  `json:"d"`
+	Seed      int64  `json:"seed"`
+	Trials    int    `json:"trials"`
+	// Work, Messages, and SolvedAt are trial averages of the paper's
+	// complexity measures (Definitions 2.1/2.2).
+	Work     float64 `json:"work"`
+	Messages float64 `json:"messages"`
+	SolvedAt float64 `json:"solved_at"`
+	// NsPerRun is wall-clock nanoseconds per simulation run (engine
+	// throughput, not a model quantity).
+	NsPerRun int64 `json:"ns_per_run"`
+	// Err is non-empty when the cell failed (e.g. step cap exceeded).
+	Err string `json:"err,omitempty"`
+}
+
+// CellSeed derives the deterministic seed of one grid cell: an FNV-1a
+// hash of the cell coordinates folded with the base seed, so a cell's
+// randomness depends only on what the cell is, never on sweep order,
+// worker count, or which other cells share the grid. The adversary axis
+// is deliberately not folded in: the same cell under different
+// adversaries runs the same machines, isolating the adversary's effect
+// (and keeping seeds comparable with pre-axis baselines).
+func CellSeed(base int64, algo string, p, t int, d int64) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, algo)
+	var buf [8]byte
+	for _, v := range []int64{int64(p), int64(t), d, base} {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	s := int64(h.Sum64() >> 1) // keep it non-negative
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Specs enumerates the grid cells as Scenarios in deterministic order
+// (algorithm-major, then adversary, then p, t, d).
+func (c SweepConfig) Specs() []Scenario {
+	c = c.withDefaults()
+	specs := make([]Scenario, 0, len(c.Algos)*len(c.Adversaries)*len(c.Ps)*len(c.Ts)*len(c.Ds))
+	for _, algo := range c.Algos {
+		for _, adv := range c.Adversaries {
+			for _, p := range c.Ps {
+				for _, t := range c.Ts {
+					for _, d := range c.Ds {
+						specs = append(specs, Scenario{
+							Algorithm: algo,
+							Adversary: adv,
+							P:         p,
+							T:         t,
+							D:         d,
+							Seed:      CellSeed(c.BaseSeed, algo, p, t, d),
+							MaxSteps:  c.MaxSteps,
+						})
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// RunSweep measures every cell of the grid, sharding cells across Workers
+// goroutines via a shared cursor. Results are returned in Specs order and
+// are byte-for-byte identical for any worker count: each cell builds its
+// own machines and adversary from its own derived seed, so no state is
+// shared between shards.
+func RunSweep(c SweepConfig) []Cell {
+	c = c.withDefaults()
+	specs := c.Specs()
+	cells := make([]Cell, len(specs))
+	workers := c.Workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				cells[i] = runCell(specs[i], c.Trials)
+			}
+		}()
+	}
+	wg.Wait()
+	return cells
+}
+
+// runCell executes one grid cell's trials and averages the measures.
+func runCell(sc Scenario, trials int) Cell {
+	cell := Cell{
+		Algo: sc.Algorithm, Adversary: sc.Adversary,
+		P: sc.P, T: sc.T, D: sc.D, Seed: sc.Seed, Trials: trials,
+	}
+	start := time.Now()
+	for i := 0; i < trials; i++ {
+		run := sc
+		run.Seed = sc.Seed + int64(i)
+		res, err := Run(run)
+		if err != nil {
+			// Drop the partial sums: a failed cell reports only its error,
+			// never a misleading fraction of an average.
+			cell.Work, cell.Messages, cell.SolvedAt = 0, 0, 0
+			cell.Err = err.Error()
+			return cell
+		}
+		cell.Work += float64(res.Sim.Work)
+		cell.Messages += float64(res.Sim.Messages)
+		cell.SolvedAt += float64(res.Sim.SolvedAt)
+	}
+	cell.NsPerRun = time.Since(start).Nanoseconds() / int64(trials)
+	cell.Work /= float64(trials)
+	cell.Messages /= float64(trials)
+	cell.SolvedAt /= float64(trials)
+	return cell
+}
+
+// SweepReport is the JSON envelope written by cmd/experiments -sweep;
+// BENCH_*.json files at the repo root follow this schema so successive
+// PRs can compare per-cell work/messages/ns trajectories.
+type SweepReport struct {
+	// Engine identifies the execution engine that produced the numbers.
+	Engine string `json:"engine"`
+	// GoMaxProcs records the worker ceiling the sweep ran under.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Adversary is the grid's adversary axis: one expression, or several
+	// joined with ";".
+	Adversary string `json:"adversary"`
+	// BaseSeed reproduces the sweep exactly.
+	BaseSeed int64  `json:"base_seed"`
+	Cells    []Cell `json:"cells"`
+}
+
+// NewSweepReport runs the sweep and wraps it for serialization.
+func NewSweepReport(c SweepConfig) SweepReport {
+	c = c.withDefaults()
+	return SweepReport{
+		Engine:     "multicast-wheel",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Adversary:  strings.Join(c.Adversaries, ";"),
+		BaseSeed:   c.BaseSeed,
+		Cells:      RunSweep(c),
+	}
+}
+
+// WriteJSON serializes the report with stable formatting.
+func (r SweepReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

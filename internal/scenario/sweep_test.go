@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestSweepAdversaryGrid exercises the adversary-expression axis: every
+// algorithm cell is measured under each expression, cells record their
+// adversary, and crashing/slow-set are reachable from a sweep.
+func TestSweepAdversaryGrid(t *testing.T) {
+	cfg := SweepConfig{
+		Algos:       []string{AlgoPaRan1},
+		Ps:          []int{4},
+		Ts:          []int{16},
+		Ds:          []int64{2},
+		Adversaries: []string{"fair", "crashing", "slow-set(period=2)"},
+		BaseSeed:    3,
+	}
+	cells := RunSweep(cfg)
+	if len(cells) != 3 {
+		t.Fatalf("%d cells, want 3", len(cells))
+	}
+	for i, want := range cfg.Adversaries {
+		c := cells[i]
+		if c.Adversary != want {
+			t.Errorf("cell %d adversary = %q, want %q", i, c.Adversary, want)
+		}
+		if c.Err != "" {
+			t.Errorf("cell %d (%s) failed: %s", i, want, c.Err)
+		}
+		if c.Work <= 0 {
+			t.Errorf("cell %d (%s): work %v", i, want, c.Work)
+		}
+	}
+	// Same seed, same machines: the slow-set run must cost at least as
+	// much time as the fair run (slow processors stretch the execution).
+	if cells[2].SolvedAt < cells[0].SolvedAt {
+		t.Errorf("slow-set solved at %v before fair's %v", cells[2].SolvedAt, cells[0].SolvedAt)
+	}
+	rep := NewSweepReport(cfg)
+	if rep.Adversary != "fair;crashing;slow-set(period=2)" {
+		t.Errorf("report adversary = %q", rep.Adversary)
+	}
+}
+
+// TestBench0SchemaStillReadable guards the BENCH_*.json contract: the
+// baseline recorded before the adversary axis existed must keep parsing
+// under the extended Cell schema.
+func TestBench0SchemaStillReadable(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_0.json")
+	if err != nil {
+		t.Skipf("BENCH_0.json not present: %v", err)
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_0.json no longer parses: %v", err)
+	}
+	if rep.Engine != "multicast-wheel" || len(rep.Cells) == 0 {
+		t.Fatalf("BENCH_0.json lost shape: engine=%q cells=%d", rep.Engine, len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Algo == "" || c.P == 0 || c.T == 0 {
+			t.Fatalf("cell lost fields: %+v", c)
+		}
+		if c.Adversary != "" {
+			t.Fatalf("pre-axis cell unexpectedly has adversary %q", c.Adversary)
+		}
+	}
+}

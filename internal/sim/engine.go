@@ -60,6 +60,7 @@ type engine struct {
 	cfg      Config
 	machines []Machine
 	adv      Adversary
+	obs      Observer // cfg.Observer; nil = zero-cost no hooks
 	batched  MulticastDelayer // adv, when it supports batched delays
 	d        int64            // adv.D(), cached
 	wheel    *wheel
@@ -83,6 +84,7 @@ func newEngine(cfg Config, machines []Machine, adv Adversary) *engine {
 		cfg:      cfg,
 		machines: machines,
 		adv:      adv,
+		obs:      cfg.Observer,
 		d:        adv.D(),
 		wheel:    newWheel(adv.D()),
 		inbox:    make([][]Message, cfg.P),
@@ -145,9 +147,11 @@ func (e *engine) deliver(ev wevent, at int64) {
 
 func (e *engine) deliverOne(mc *Multicast, j int, at int64) {
 	if !e.crashed[j] && !e.halted[j] {
-		e.inbox[j] = append(e.inbox[j], Message{
-			From: mc.From, To: j, SentAt: mc.SentAt, DeliverAt: at, Payload: mc.Payload,
-		})
+		m := Message{From: mc.From, To: j, SentAt: mc.SentAt, DeliverAt: at, Payload: mc.Payload}
+		e.inbox[j] = append(e.inbox[j], m)
+		if e.obs != nil {
+			e.obs.OnDeliver(m)
+		}
 	}
 }
 
@@ -169,6 +173,9 @@ func (e *engine) tick(now int64) {
 				e.stopped++
 			}
 			e.crashed[i] = true
+			if e.obs != nil {
+				e.obs.OnCrash(i, now)
+			}
 		}
 	}
 	e.nextWake = dec.NextWake
@@ -187,6 +194,9 @@ func (e *engine) tick(now int64) {
 		clear(inbox)
 		e.inbox[i] = inbox[:0]
 		stepped++
+		if e.obs != nil {
+			e.obs.OnStep(i, now, &r)
+		}
 		if len(r.Performed) > 1 {
 			panic(fmt.Sprintf("sim: machine %d performed %d tasks in one step", i, len(r.Performed)))
 		}
@@ -236,6 +246,9 @@ func (e *engine) tick(now int64) {
 					e.res.Bytes += int64(sz.WireSize())
 				}
 			}
+			if e.obs != nil {
+				e.obs.OnMulticast(i, now, snd.Payload, 1)
+			}
 		}
 
 		if r.Halt {
@@ -266,6 +279,9 @@ func (e *engine) tick(now int64) {
 		if informed {
 			e.res.Solved = true
 			e.res.SolvedAt = now
+			if e.obs != nil {
+				e.obs.OnSolved(now, e.res)
+			}
 		}
 	}
 }
@@ -321,5 +337,8 @@ func (e *engine) broadcast(i int, now int64, payload any) {
 		if sz, ok := payload.(Payload); ok {
 			e.res.Bytes += int64(sz.WireSize()) * n
 		}
+	}
+	if e.obs != nil {
+		e.obs.OnMulticast(i, now, payload, p-1)
 	}
 }

@@ -1,0 +1,152 @@
+package sim
+
+// Observer is the optional hook set threaded through the multicast engine
+// (Run). Set Config.Observer to receive a callback at every observable
+// event of an execution — tracing, per-round metrics, and live dashboards
+// hang off these hooks instead of forking the engine. A nil observer costs
+// nothing: the engine guards every hook with a single nil check, so the
+// hot path is unchanged (guarded by the BenchmarkEngineMulticast*
+// benchmarks against the BENCH_0.json baselines).
+//
+// Hooks run synchronously inside the engine loop. Implementations must not
+// mutate anything they are handed and must not retain pointer arguments
+// beyond the call; the engine reuses the underlying storage. The legacy
+// reference engine (RunLegacy) ignores observers — it exists only for
+// equivalence checking.
+type Observer interface {
+	// OnStep fires after machine pid executed one local step at time now.
+	// r is the step's raw result, valid only for the duration of the call.
+	OnStep(pid int, now int64, r *StepResult)
+	// OnMulticast fires once per broadcast (recipients = p-1) and once per
+	// point-to-point send (recipients = 1), after the message(s) were
+	// scheduled for delivery.
+	OnMulticast(from int, now int64, payload any, recipients int)
+	// OnDeliver fires when a message enters a live recipient's inbox.
+	// Messages addressed to crashed or halted processors are dropped
+	// without a callback, matching the accounting of the model.
+	OnDeliver(m Message)
+	// OnCrash fires when the adversary crashes processor pid at time now.
+	OnCrash(pid int, now int64)
+	// OnSolved fires once, at the time unit σ the problem became solved
+	// (all tasks done and some live processor informed). res is the
+	// engine's live Result; treat it as read-only and do not retain it.
+	OnSolved(now int64, res *Result)
+}
+
+// NopObserver implements Observer with no-ops. Embed it to implement only
+// the hooks you care about.
+type NopObserver struct{}
+
+// OnStep implements Observer.
+func (NopObserver) OnStep(int, int64, *StepResult) {}
+
+// OnMulticast implements Observer.
+func (NopObserver) OnMulticast(int, int64, any, int) {}
+
+// OnDeliver implements Observer.
+func (NopObserver) OnDeliver(Message) {}
+
+// OnCrash implements Observer.
+func (NopObserver) OnCrash(int, int64) {}
+
+// OnSolved implements Observer.
+func (NopObserver) OnSolved(int64, *Result) {}
+
+// FuncObserver adapts a set of optional functions to the Observer
+// interface; nil fields are skipped. It is the quickest way to hook one or
+// two events without declaring a type.
+type FuncObserver struct {
+	Step      func(pid int, now int64, r *StepResult)
+	Multicast func(from int, now int64, payload any, recipients int)
+	Deliver   func(m Message)
+	Crash     func(pid int, now int64)
+	Solved    func(now int64, res *Result)
+}
+
+var _ Observer = (*FuncObserver)(nil)
+
+// OnStep implements Observer.
+func (o *FuncObserver) OnStep(pid int, now int64, r *StepResult) {
+	if o.Step != nil {
+		o.Step(pid, now, r)
+	}
+}
+
+// OnMulticast implements Observer.
+func (o *FuncObserver) OnMulticast(from int, now int64, payload any, recipients int) {
+	if o.Multicast != nil {
+		o.Multicast(from, now, payload, recipients)
+	}
+}
+
+// OnDeliver implements Observer.
+func (o *FuncObserver) OnDeliver(m Message) {
+	if o.Deliver != nil {
+		o.Deliver(m)
+	}
+}
+
+// OnCrash implements Observer.
+func (o *FuncObserver) OnCrash(pid int, now int64) {
+	if o.Crash != nil {
+		o.Crash(pid, now)
+	}
+}
+
+// OnSolved implements Observer.
+func (o *FuncObserver) OnSolved(now int64, res *Result) {
+	if o.Solved != nil {
+		o.Solved(now, res)
+	}
+}
+
+// MultiObserver fans every event out to each observer in order. Nil
+// entries are skipped.
+type MultiObserver []Observer
+
+var _ Observer = (MultiObserver)(nil)
+
+// OnStep implements Observer.
+func (m MultiObserver) OnStep(pid int, now int64, r *StepResult) {
+	for _, o := range m {
+		if o != nil {
+			o.OnStep(pid, now, r)
+		}
+	}
+}
+
+// OnMulticast implements Observer.
+func (m MultiObserver) OnMulticast(from int, now int64, payload any, recipients int) {
+	for _, o := range m {
+		if o != nil {
+			o.OnMulticast(from, now, payload, recipients)
+		}
+	}
+}
+
+// OnDeliver implements Observer.
+func (m MultiObserver) OnDeliver(msg Message) {
+	for _, o := range m {
+		if o != nil {
+			o.OnDeliver(msg)
+		}
+	}
+}
+
+// OnCrash implements Observer.
+func (m MultiObserver) OnCrash(pid int, now int64) {
+	for _, o := range m {
+		if o != nil {
+			o.OnCrash(pid, now)
+		}
+	}
+}
+
+// OnSolved implements Observer.
+func (m MultiObserver) OnSolved(now int64, res *Result) {
+	for _, o := range m {
+		if o != nil {
+			o.OnSolved(now, res)
+		}
+	}
+}

@@ -94,6 +94,11 @@ type Machine interface {
 	// Step executes one local step: process all messages in inbox (in one
 	// unit of work, per the model), optionally perform a task, optionally
 	// broadcast. It is called only for live, non-halted processors.
+	//
+	// The inbox slice is owned by the engine and reused after Step
+	// returns: machines must consume the messages during the call and
+	// must not retain the slice (or pointers into it). Copy any Message
+	// that needs to outlive the step.
 	Step(now int64, inbox []Message) StepResult
 	// KnowsAllDone reports whether this processor's local knowledge
 	// implies every task has been performed.
@@ -241,6 +246,10 @@ type Config struct {
 	// until all processors halt. Work/Messages are identical either way;
 	// TotalSteps/TotalMessages differ.
 	StopAtSolved bool
+	// Observer, when non-nil, receives a callback at every observable
+	// event of the execution (see Observer). Nil costs nothing on the hot
+	// path. The legacy reference engine (RunLegacy) ignores it.
+	Observer Observer
 }
 
 // ErrStepCap is returned when the simulation hits MaxSteps before the

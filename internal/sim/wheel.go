@@ -50,12 +50,20 @@ func newWheel(bound int64) *wheel {
 }
 
 // push schedules ev for delivery at time at. at must be > w.cur.
+//
+// The direct-bucket bound is strict (<, matching migrateOverflow's) so a
+// push can never land in a bucket that an earlier-sent overflow event for
+// the same delivery time has not migrated into yet — migration runs at
+// the start of each tick, before that tick's pushes, so within a bucket
+// overflow events always precede later direct pushes and FIFO send order
+// is preserved. Delays on the non-overflow path are ≤ bound < bucket
+// count, so the strict bound only affects the giant-delay overflow case.
 func (w *wheel) push(ev wevent, at int64) {
 	if at <= w.cur {
 		panic("sim: wheel push into the past")
 	}
 	w.events++
-	if at-w.cur <= int64(len(w.buckets)) {
+	if at-w.cur < int64(len(w.buckets)) {
 		slot := at & w.mask
 		w.buckets[slot] = append(w.buckets[slot], ev)
 		return
@@ -101,10 +109,10 @@ func (w *wheel) advanceTo(now int64, fn func(ev wevent, at int64)) {
 
 // migrateOverflow moves every overflow event now strictly within the
 // horizon into its bucket, preserving push order, and recomputes the
-// overflow minimum. The strict bound matters: an event at cur+horizon
-// would map to the slot being popped as time cur and be delivered early.
-// (Push may use the full horizon because it runs after the current time's
-// slot has been popped and emptied.)
+// overflow minimum. The strict bound matters twice over: an event at
+// cur+horizon would map to the slot being popped as time cur and be
+// delivered early, and push uses the same strict bound so direct pushes
+// can never overtake not-yet-migrated overflow events in a bucket.
 func (w *wheel) migrateOverflow() {
 	horizon := int64(len(w.buckets))
 	kept := 0

@@ -129,3 +129,41 @@ func TestWheelFastForwardSkipsEmptyStretch(t *testing.T) {
 		t.Fatalf("post-jump delivery = %v", got)
 	}
 }
+
+// TestWheelOverflowPreservesSendOrderAtHorizonBoundary pins the FIFO
+// contract at the overflow/direct boundary: an event sent earlier but
+// parked in overflow (delay beyond the bucket horizon) must still be
+// delivered before a later-sent event pushed directly for the same
+// delivery time. The direct-push bound is strict for exactly this reason.
+func TestWheelOverflowPreservesSendOrderAtHorizonBoundary(t *testing.T) {
+	w := newWheel(1 << 20) // bucket count capped at maxWheelHorizon
+	horizon := int64(len(w.buckets))
+	if horizon != maxWheelHorizon {
+		t.Fatalf("bucket count %d, want the %d cap", horizon, maxWheelHorizon)
+	}
+	const lead = 7232
+	at := horizon + lead // delivery time shared by both events
+
+	early := &Multicast{From: 1}
+	late := &Multicast{From: 2}
+
+	// Sent at t=0: beyond the horizon, parked in overflow.
+	w.push(wevent{mc: early, to: 0}, at)
+	// Advance to just before migration would trigger, then push the
+	// later-sent event, which now sits exactly horizon units out.
+	w.advanceTo(lead, func(ev wevent, _ int64) {
+		t.Fatalf("premature delivery of %+v", ev)
+	})
+	w.push(wevent{mc: late, to: 0}, at)
+
+	var order []int
+	w.advanceTo(at, func(ev wevent, deliveredAt int64) {
+		if deliveredAt != at {
+			t.Fatalf("delivered at %d, want %d", deliveredAt, at)
+		}
+		order = append(order, ev.mc.From)
+	})
+	if !reflect.DeepEqual(order, []int{1, 2}) {
+		t.Fatalf("delivery order %v, want [1 2] (send order)", order)
+	}
+}

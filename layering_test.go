@@ -1,0 +1,40 @@
+package doall_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoInternalImportsOutsideModuleRoot enforces the layering contract
+// of the Scenario API redesign: only the module root package may reach
+// into doall/internal/...; commands and examples must live entirely on
+// the public surface. (CI additionally greps for the same pattern.)
+func TestNoInternalImportsOutsideModuleRoot(t *testing.T) {
+	for _, dir := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				if strings.Contains(imp.Path.Value, "doall/internal") {
+					t.Errorf("%s imports %s: cmd/ and examples/ must use the public doall API only", path, imp.Path.Value)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
