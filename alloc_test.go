@@ -1,0 +1,120 @@
+// Allocation gates for the simulation engine's steady state. The scratch-
+// reuse contracts (StepResult's plain performed-task int, Schedule writing
+// into an engine-owned Decision, pooled Multicast records with Delivery
+// references, payload recycling) exist so that a warmed-up engine runs
+// whole simulations without a single heap allocation. These tests pin that
+// property: a full steady-state run at p ≥ 64 under the fair adversary
+// must average exactly zero allocations — which bounds the allocations
+// per simulated step and per multicast at zero, since every run performs
+// thousands of both. Any regression (a slice born on the hot path, a
+// payload that stopped being recycled, an adversary allocating per tick)
+// fails the gate.
+package doall_test
+
+import (
+	"testing"
+
+	"doall"
+	"doall/internal/adversary"
+	"doall/internal/harness"
+	"doall/internal/sim"
+)
+
+// assertZeroSteadyStateAllocs warms one engine + one machine set with a
+// full run, then measures whole re-runs (machines reset in place, same
+// engine) and requires them to be allocation-free.
+func assertZeroSteadyStateAllocs(t *testing.T, name string, machines []sim.Machine, adv sim.Adversary, p, tasks int) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := sim.Config{P: p, T: tasks}
+
+	run := func() *sim.Result {
+		if !sim.ResetMachines(machines) {
+			t.Fatalf("%s: machines do not support Reset", name)
+		}
+		res, err := eng.Run(cfg, machines, adv)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res
+	}
+	// Warm-up: grows inboxes, wheel buckets, decision slices, and the
+	// multicast and payload pools to their steady sizes.
+	warm := run()
+	if !warm.Solved || warm.TotalSteps < int64(p) || warm.TotalMessages < int64(p) {
+		t.Fatalf("%s: warm-up run not representative: %+v", name, warm)
+	}
+
+	var steps, multicasts int64
+	allocs := testing.AllocsPerRun(3, func() {
+		res := run()
+		steps = res.TotalSteps
+		multicasts = res.TotalMessages / int64(p-1)
+	})
+	if allocs != 0 {
+		t.Fatalf("%s: %v allocations per steady-state run, want 0 (run = %d steps, ~%d multicasts)",
+			name, allocs, steps, multicasts)
+	}
+}
+
+// TestZeroSteadyStateAllocsPA gates the permutation algorithm: PaRan1 at
+// p=64 under the fair adversary runs allocation-free once warmed up
+// (0 allocations per step and per multicast).
+func TestZeroSteadyStateAllocsPA(t *testing.T) {
+	const p, tasks = 64, 256
+	ms := doall.NewPaRan1(p, tasks, 42)
+	assertZeroSteadyStateAllocs(t, "PaRan1/fair", ms, adversary.NewFair(4), p, tasks)
+}
+
+// TestZeroSteadyStateAllocsPADelay1 repeats the PA gate at the fastest
+// legal network (d = 1), where delivery and consumption interleave every
+// unit — the densest recycling schedule.
+func TestZeroSteadyStateAllocsPADelay1(t *testing.T) {
+	const p, tasks = 64, 256
+	ms := doall.NewPaRan1(p, tasks, 7)
+	fair := adversary.NewFair(1)
+	assertZeroSteadyStateAllocs(t, "PaRan1/fair-d1", ms, fair, p, tasks)
+}
+
+// TestZeroSteadyStateAllocsDA gates the progress-tree algorithm: DA(2) at
+// p=64 under the fair adversary runs allocation-free once warmed up.
+func TestZeroSteadyStateAllocsDA(t *testing.T) {
+	const p, tasks = 64, 256
+	ms, err := harness.BuildMachines(harness.Spec{Algo: harness.AlgoDA, P: p, T: tasks, D: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertZeroSteadyStateAllocs(t, "DA/fair", ms, adversary.NewFair(4), p, tasks)
+}
+
+// TestResetReplaysExactly pins what the allocation gates rely on: a reset
+// deterministic machine set re-run on a reused engine reproduces the
+// fresh-build Result byte for byte, trial after trial.
+func TestResetReplaysExactly(t *testing.T) {
+	const p, tasks = 16, 64
+	for _, algo := range []harness.Algo{harness.AlgoAllToAll, harness.AlgoObliDo, harness.AlgoDA, harness.AlgoPaRan1, harness.AlgoPaDet} {
+		spec := harness.Spec{Algo: algo, P: p, T: tasks, D: 3, Seed: 5}
+		fresh, err := harness.Execute(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		ms, err := harness.BuildMachines(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		for trial := 0; trial < 3; trial++ {
+			if !sim.ResetMachines(ms) {
+				t.Fatalf("%s: not resettable", algo)
+			}
+			res, err := eng.Run(sim.Config{P: p, T: tasks}, ms, adversary.NewFair(3))
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", algo, trial, err)
+			}
+			if res.Work != fresh.Work || res.Messages != fresh.Messages || res.SolvedAt != fresh.SolvedAt {
+				t.Fatalf("%s trial %d diverged: fresh work=%d msgs=%d σ=%d, reset work=%d msgs=%d σ=%d",
+					algo, trial, fresh.Work, fresh.Messages, fresh.SolvedAt, res.Work, res.Messages, res.SolvedAt)
+			}
+		}
+	}
+}

@@ -190,19 +190,24 @@ func BenchmarkSimulatorSteps(b *testing.B) {
 
 // Engine benchmarks: the multicast-native engine (sim.Run) against the
 // per-message legacy engine (sim.RunLegacy) on broadcast-heavy configs.
-// Machines are rebuilt outside the timer so the numbers isolate engine
-// throughput; run with -benchmem to see the O(p) → O(1) amortized
+// Machines are cloned from one pristine set outside the timer so the
+// numbers isolate engine throughput; run with -benchmem to see the
 // allocation drop per multicast.
 func benchEngine(b *testing.B, engine func(sim.Config, []sim.Machine, sim.Adversary) (*sim.Result, error), p, t int, d int64) {
 	b.Helper()
+	pristine, err := harness.BuildMachines(harness.Spec{Algo: harness.AlgoPaRan1, P: p, T: t, D: d, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := adversary.NewFair(d)
 	var work int64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		ms, err := harness.BuildMachines(harness.Spec{Algo: harness.AlgoPaRan1, P: p, T: t, D: d, Seed: 42})
-		if err != nil {
-			b.Fatal(err)
+		ms, ok := sim.CloneMachines(pristine)
+		if !ok {
+			b.Fatal("PaRan1 machines must be cloneable")
 		}
-		adv := adversary.NewFair(d)
 		b.StartTimer()
 		res, err := engine(sim.Config{P: p, T: t}, ms, adv)
 		if err != nil {
@@ -224,6 +229,40 @@ func BenchmarkEngineLegacyPA256(b *testing.B)    { benchEngine(b, sim.RunLegacy,
 // A mid-size point for quicker regression tracking.
 func BenchmarkEngineMulticastPA64(b *testing.B) { benchEngine(b, sim.Run, 64, 512, 4) }
 func BenchmarkEngineLegacyPA64(b *testing.B)    { benchEngine(b, sim.RunLegacy, 64, 512, 4) }
+
+// The ISSUE-3 steady state: one reusable engine and one machine set,
+// reset in place between runs. This is the sweep's per-trial inner loop
+// minus machine construction; with -benchmem it must report 0 B/op and
+// 0 allocs/op — the allocation-free steady state the scratch-reuse
+// contracts exist for (gated by TestZeroSteadyStateAllocs*).
+func BenchmarkEngineSteadyStatePA256(b *testing.B) {
+	const p, t, d = 256, 1024, 8
+	ms, err := harness.BuildMachines(harness.Spec{Algo: harness.AlgoPaRan1, P: p, T: t, D: d, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := adversary.NewFair(d)
+	eng := sim.NewEngine()
+	// One warm-up run grows every buffer and pool to its steady size, so
+	// the timed loop measures the true steady state.
+	if _, err := eng.Run(sim.Config{P: p, T: t}, ms, adv); err != nil {
+		b.Fatal(err)
+	}
+	var work int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sim.ResetMachines(ms) {
+			b.Fatal("PaRan1 machines must be resettable")
+		}
+		res, err := eng.Run(sim.Config{P: p, T: t}, ms, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work = res.Work
+	}
+	b.ReportMetric(float64(work), "work")
+}
 
 // The same acceptance config with every observer hook live (cheap
 // counting callbacks), quantifying the cost of a non-nil observer; the

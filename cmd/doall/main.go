@@ -104,8 +104,20 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r := res.Sim
 		fmt.Fprintf(w, "algorithm   %s  (p=%d t=%d d=%d adversary=%s)\n", sc.Algorithm, sc.P, sc.T, sc.D, sc.Adversary)
+		if res.Runtime != nil {
+			// A -spec document may select the goroutine runtime, which has
+			// no exact simulator Result to print.
+			rt := res.Runtime
+			fmt.Fprintf(w, "backend     runtime (wall-clock observations, not worst cases)\n")
+			fmt.Fprintf(w, "steps       %d\n", rt.Steps)
+			fmt.Fprintf(w, "messages    %d\n", rt.Messages)
+			fmt.Fprintf(w, "executions  %d\n", rt.TaskExecutions)
+			fmt.Fprintf(w, "elapsed     %s\n", rt.Elapsed)
+			printBounds(w, sc.P, sc.T, int(sc.D), float64(rt.Steps))
+			return nil
+		}
+		r := res.Sim
 		fmt.Fprintf(w, "work        %d\n", r.Work)
 		fmt.Fprintf(w, "messages    %d\n", r.Messages)
 		fmt.Fprintf(w, "time        %d\n", r.SolvedAt)

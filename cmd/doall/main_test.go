@@ -96,3 +96,17 @@ func TestRunTrialsAveraging(t *testing.T) {
 		t.Fatalf("averaged output missing deterministic E[work]:\n%s", out.String())
 	}
 }
+
+// TestRunSpecRuntimeBackend: a -spec document selecting the goroutine
+// runtime must print the runtime report, not dereference the (nil)
+// simulator result.
+func TestRunSpecRuntimeBackend(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-spec", `{"algorithm":"AllToAll","p":2,"t":4,"d":1,"backend":"runtime"}`}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "backend     runtime") || !strings.Contains(out.String(), "steps") {
+		t.Fatalf("runtime-backend spec output missing runtime report:\n%s", out.String())
+	}
+}

@@ -21,6 +21,13 @@
 //	experiments -sweep -algos PaRan1,DA -p 64,256 -t 1024 -d 1,8,64 -trials 3
 //	experiments -sweep -adv 'crashing(slow-set(fair))'
 //	experiments -sweep -advs 'fair;crashing;slow-set(period=8)'
+//	experiments -sweep -progress                    # live cells-done meter on stderr
+//
+// Profiling flags make sweep hot spots measurable without editing code;
+// they wrap whichever workload runs (the sweep or the experiment tables):
+//
+//	experiments -sweep -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -28,8 +35,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 
 	"doall"
 )
@@ -132,19 +142,29 @@ func maxInt64(vals []int64) int64 {
 	return m
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) error { return runWithStderr(args, w, os.Stderr) }
+
+// runWithStderr is run with an injectable stderr so the -progress meter is
+// testable.
+func runWithStderr(args []string, w, errw io.Writer) error {
 	var (
-		f        sweepFlags
-		scale    string
-		markdown bool
-		only     string
-		sweep    bool
-		out      string
+		f          sweepFlags
+		scale      string
+		markdown   bool
+		only       string
+		sweep      bool
+		out        string
+		progress   bool
+		cpuprofile string
+		memprofile string
 	)
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.StringVar(&scale, "scale", "quick", "experiment scale: quick or full")
 	fs.BoolVar(&markdown, "markdown", false, "emit Markdown instead of plain text")
 	fs.StringVar(&only, "only", "", "comma-separated experiment ids to run (default all)")
+	fs.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile of the workload to this file")
+	fs.StringVar(&memprofile, "memprofile", "", "write an allocation profile to this file after the workload")
+	fs.BoolVar(&progress, "progress", false, "sweep: print a live cells-completed meter to stderr")
 
 	fs.BoolVar(&sweep, "sweep", false, "run the sharded (algo,adv,p,t,d) sweep instead of E1–E10")
 	fs.StringVar(&out, "out", "", "sweep: write the JSON report to this file (default stdout)")
@@ -166,7 +186,28 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return writeSweep(cfg, out, w)
+		if progress {
+			// Progress fires concurrently from worker goroutines in
+			// completion order; serialize and keep the meter monotone so a
+			// late-arriving lower count never overwrites a higher one.
+			var mu sync.Mutex
+			shown := 0
+			cfg.Progress = func(done, total int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if done <= shown {
+					return
+				}
+				shown = done
+				fmt.Fprintf(errw, "\rsweep: %d/%d cells", done, total)
+				if done == total {
+					fmt.Fprintln(errw)
+				}
+			}
+		}
+		return withProfiles(cpuprofile, memprofile, func() error {
+			return writeSweep(cfg, out, w)
+		})
 	}
 
 	sc := doall.QuickScale
@@ -183,18 +224,58 @@ func run(args []string, w io.Writer) error {
 		want[id] = true
 	}
 
-	tables, err := doall.AllExperiments(sc)
-	if err != nil {
+	return withProfiles(cpuprofile, memprofile, func() error {
+		tables, err := doall.AllExperiments(sc)
+		if err != nil {
+			return err
+		}
+		for _, tb := range tables {
+			if len(want) > 0 && !want[tb.ID] {
+				continue
+			}
+			if markdown {
+				fmt.Fprintln(w, tb.Markdown())
+			} else {
+				fmt.Fprintln(w, tb.String())
+			}
+		}
+		return nil
+	})
+}
+
+// withProfiles runs the workload wrapped in the requested CPU and
+// allocation profiles. Profile files are created before the workload runs
+// so bad paths fail fast, not after a multi-minute grid; the allocation
+// profile is written (after a GC, so it reflects live + cumulative alloc
+// sites accurately) when the workload finishes.
+func withProfiles(cpuprofile, memprofile string, work func() error) error {
+	var memf *os.File
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		memf = f
+		defer memf.Close()
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := work(); err != nil {
 		return err
 	}
-	for _, tb := range tables {
-		if len(want) > 0 && !want[tb.ID] {
-			continue
-		}
-		if markdown {
-			fmt.Fprintln(w, tb.Markdown())
-		} else {
-			fmt.Fprintln(w, tb.String())
+	if memf != nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memf); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
 		}
 	}
 	return nil

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -149,5 +152,72 @@ func TestUnknownScaleRejected(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-scale", "enormous"}, &out); err == nil {
 		t.Fatal("unknown scale accepted")
+	}
+}
+
+// TestProfilingFlags drives -cpuprofile/-memprofile through a tiny real
+// sweep and checks both profiles land on disk non-empty; bad paths must
+// fail before any sweep work.
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "-algos", "PaRan1", "-p", "4", "-t", "16", "-d", "2",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	var rep doall.SweepReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("profiled sweep lost its report: %v", err)
+	}
+}
+
+func TestProfilingFlagBadPathsFailFast(t *testing.T) {
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		var out bytes.Buffer
+		err := run([]string{"-sweep", "-algos", "PaRan1", "-p", "4", "-t", "16", "-d", "2",
+			flag, filepath.Join(t.TempDir(), "no", "such", "dir", "p.out")}, &out)
+		if err == nil || !strings.Contains(err.Error(), flag) {
+			t.Fatalf("%s with unwritable path: err = %v, want %s error", flag, err, flag)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("%s: sweep ran despite unwritable profile path", flag)
+		}
+	}
+}
+
+// TestProgressFlag checks the -progress meter: one update per cell on
+// stderr, ending in a newline, without disturbing the JSON on stdout.
+func TestProgressFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := runWithStderr([]string{"-sweep", "-algos", "PaRan1", "-p", "4,8", "-t", "16", "-d", "1,2",
+		"-progress", "-workers", "1"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep doall.SweepReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("progress meter corrupted the report: %v", err)
+	}
+	got := errw.String()
+	for done := 1; done <= 4; done++ {
+		want := fmt.Sprintf("sweep: %d/4 cells", done)
+		if !strings.Contains(got, want) {
+			t.Errorf("stderr missing %q:\n%q", want, got)
+		}
+	}
+	if !strings.HasSuffix(got, "\n") {
+		t.Errorf("progress meter does not end with a newline: %q", got)
 	}
 }

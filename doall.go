@@ -59,13 +59,25 @@ import (
 // packages interoperate directly.
 type (
 	// Machine is one processor's algorithm state; Step is called once per
-	// local step with the messages delivered since the previous step.
+	// local step with the deliveries made since the previous step.
 	Machine = sim.Machine
-	// Message is a point-to-point message.
+	// Message is a fully materialized point-to-point message (observer
+	// hooks and the goroutine runtime; the simulator's hot path uses
+	// Delivery references instead).
 	Message = sim.Message
-	// StepResult reports what one local step performed, broadcast, and
-	// whether the processor voluntarily halted.
+	// Delivery is one delivered message: a two-word reference into the
+	// Multicast record shared by every recipient of a broadcast.
+	Delivery = sim.Delivery
+	// Multicast is one broadcast stored once regardless of recipient count.
+	Multicast = sim.Multicast
+	// StepResult reports what one local step performed (StepResult.Perform
+	// / PerformedTask), broadcast, and whether the processor voluntarily
+	// halted.
 	StepResult = sim.StepResult
+	// SimEngine is the reusable simulation engine: one engine per trial
+	// loop reuses wheel buckets, inboxes, result arrays, and the multicast
+	// pool across runs (NewSimEngine).
+	SimEngine = sim.Engine
 	// Adversary controls asynchrony in the simulator: per-unit scheduling,
 	// crashes, and per-message delays up to its bound D().
 	Adversary = sim.Adversary
@@ -73,6 +85,15 @@ type (
 	// whole broadcast's delays in one call; the engine adapts adversaries
 	// that lack it, at one Delay call per recipient.
 	MulticastDelayer = sim.MulticastDelayer
+	// UniformDelayer is the optional Adversary extension for recipient-
+	// independent delays: one delay query schedules a whole broadcast.
+	UniformDelayer = sim.UniformDelayer
+	// MachineResetter is the optional Machine extension restoring a
+	// machine to its initial state without reallocating (trial reuse).
+	MachineResetter = sim.Resetter
+	// PayloadRecycler is the optional Machine extension receiving payload
+	// buffers back once every recipient has consumed them.
+	PayloadRecycler = sim.PayloadRecycler
 	// Decision is an adversary's per-unit scheduling choice, including the
 	// optional NextWake idle-fast-forward promise.
 	Decision = sim.Decision
@@ -98,6 +119,10 @@ type (
 	RunReport = rt.Report
 )
 
+// NoTask is StepResult.PerformedTask's value for a step that performed no
+// task.
+const NoTask = sim.NoTask
+
 // Simulate runs machines under the adversary in the deterministic
 // simulator and returns exact work/message/time measurements
 // (Definitions 2.1–2.2 of the paper). It uses the multicast-native
@@ -107,6 +132,23 @@ type (
 func Simulate(cfg SimConfig, machines []Machine, adv Adversary) (*Result, error) {
 	return sim.Run(cfg, machines, adv)
 }
+
+// NewSimEngine returns a reusable simulation engine. One engine held
+// across a trial loop reuses its wheel buckets, inboxes, result arrays,
+// and multicast pool run to run — in steady state a run allocates
+// nothing — while producing Results byte-identical to Simulate's. The
+// Result returned by SimEngine.Run is engine-owned and overwritten by the
+// next run.
+func NewSimEngine() *SimEngine { return sim.NewEngine() }
+
+// ResetSimMachines restores every machine to its initial state via the
+// optional MachineResetter extension, reporting whether all machines
+// supported it. All six paper algorithms do.
+func ResetSimMachines(machines []Machine) bool { return sim.ResetMachines(machines) }
+
+// CloneSimMachines deep-copies a machine set via the optional Cloner
+// extension (false when any machine is not cloneable, e.g. PaRan2).
+func CloneSimMachines(machines []Machine) ([]Machine, bool) { return sim.CloneMachines(machines) }
 
 // SimulateLegacy runs the original per-message reference engine. It is
 // kept for equivalence checking and engine benchmarking; Results are

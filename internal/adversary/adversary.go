@@ -18,12 +18,13 @@ import (
 type Fair struct {
 	Bound int64 // d
 	Fixed int64 // actual delay applied, 1 ≤ Fixed ≤ Bound (0 means Bound)
-	all   []int
 }
 
 var (
 	_ sim.Adversary        = (*Fair)(nil)
 	_ sim.MulticastDelayer = (*Fair)(nil)
+	_ sim.UniformDelayer   = (*Fair)(nil)
+	_ sim.UniformDelayer   = (*Crashing)(nil)
 )
 
 // NewFair returns a Fair adversary with delay bound d that delays every
@@ -33,15 +34,13 @@ func NewFair(d int64) *Fair { return &Fair{Bound: d, Fixed: d} }
 // D implements sim.Adversary.
 func (a *Fair) D() int64 { return a.Bound }
 
-// Schedule implements sim.Adversary: all live processors step.
-func (a *Fair) Schedule(v *sim.View) sim.Decision {
-	if len(a.all) != v.P {
-		a.all = make([]int, v.P)
-		for i := range a.all {
-			a.all[i] = i
-		}
+// Schedule implements sim.Adversary: all live processors step. It
+// appends into the engine-owned decision, so scheduling allocates nothing
+// once dec.Active has grown to capacity P.
+func (a *Fair) Schedule(v *sim.View, dec *sim.Decision) {
+	for i := 0; i < v.P; i++ {
+		dec.Active = append(dec.Active, i)
 	}
-	return sim.Decision{Active: a.all}
 }
 
 // Delay implements sim.Adversary.
@@ -61,6 +60,12 @@ func (a *Fair) DelayMulticast(from int, sentAt int64, out []int64) {
 	}
 }
 
+// DelayUniform implements sim.UniformDelayer: the fixed delay never
+// depends on the recipient.
+func (a *Fair) DelayUniform(from int, sentAt int64) (int64, bool) {
+	return a.Delay(from, from, sentAt), true
+}
+
 // Random is a d-adversary that activates each processor independently with
 // probability Activity each unit and delays each message uniformly in
 // [1, d]. It models "disparate processor speeds and varying message
@@ -70,7 +75,6 @@ type Random struct {
 	Bound    int64
 	Activity float64
 	rng      *rand.Rand
-	scratch  []int
 }
 
 var (
@@ -89,25 +93,23 @@ func (a *Random) D() int64 { return a.Bound }
 
 // Schedule implements sim.Adversary. To keep executions live it activates
 // at least one non-crashed, non-halted processor each unit.
-func (a *Random) Schedule(v *sim.View) sim.Decision {
-	a.scratch = a.scratch[:0]
+func (a *Random) Schedule(v *sim.View, dec *sim.Decision) {
 	for i := 0; i < v.P; i++ {
 		if v.Crashed[i] || v.Halted[i] {
 			continue
 		}
 		if a.rng.Float64() < a.Activity {
-			a.scratch = append(a.scratch, i)
+			dec.Active = append(dec.Active, i)
 		}
 	}
-	if len(a.scratch) == 0 {
+	if len(dec.Active) == 0 {
 		for i := 0; i < v.P; i++ {
 			if !v.Crashed[i] && !v.Halted[i] {
-				a.scratch = append(a.scratch, i)
+				dec.Active = append(dec.Active, i)
 				break
 			}
 		}
 	}
-	return sim.Decision{Active: a.scratch}
 }
 
 // Delay implements sim.Adversary.
@@ -147,6 +149,15 @@ var (
 	_ sim.MulticastDelayer = (*Crashing)(nil)
 )
 
+// DelayUniform implements sim.UniformDelayer, uniform exactly when the
+// inner adversary is.
+func (a *Crashing) DelayUniform(from int, sentAt int64) (int64, bool) {
+	if ud, ok := a.Inner.(sim.UniformDelayer); ok {
+		return ud.DelayUniform(from, sentAt)
+	}
+	return 0, false
+}
+
 // NewCrashing wraps inner with the given crash schedule.
 func NewCrashing(inner sim.Adversary, events []CrashEvent) *Crashing {
 	return &Crashing{Inner: inner, Events: events}
@@ -160,8 +171,8 @@ func (a *Crashing) D() int64 { return a.Inner.D() }
 // the inner adversary is clamped to the next pending crash event —
 // otherwise the engine's fast-forward would jump over the event's time
 // unit and silently drop the crash.
-func (a *Crashing) Schedule(v *sim.View) sim.Decision {
-	dec := a.Inner.Schedule(v)
+func (a *Crashing) Schedule(v *sim.View, dec *sim.Decision) {
+	a.Inner.Schedule(v, dec)
 	live := 0
 	for i := 0; i < v.P; i++ {
 		if !v.Crashed[i] {
@@ -180,7 +191,6 @@ func (a *Crashing) Schedule(v *sim.View) sim.Decision {
 			dec.NextWake = e.At
 		}
 	}
-	return dec
 }
 
 // Delay implements sim.Adversary.
@@ -211,12 +221,12 @@ type SlowSet struct {
 	Bound  int64
 	Slow   map[int]bool
 	Period int64
-	buf    []int
 }
 
 var (
 	_ sim.Adversary        = (*SlowSet)(nil)
 	_ sim.MulticastDelayer = (*SlowSet)(nil)
+	_ sim.UniformDelayer   = (*SlowSet)(nil)
 )
 
 // NewSlowSet returns a SlowSet adversary: processors in slow take one step
@@ -235,19 +245,16 @@ func (a *SlowSet) D() int64 { return a.Bound }
 // Schedule implements sim.Adversary. When every processor is in the slow
 // set and off-period (nothing can step), the decision carries a NextWake
 // promise so the engine fast-forwards to the next period boundary.
-func (a *SlowSet) Schedule(v *sim.View) sim.Decision {
-	a.buf = a.buf[:0]
+func (a *SlowSet) Schedule(v *sim.View, dec *sim.Decision) {
 	for i := 0; i < v.P; i++ {
 		if a.Slow[i] && v.Now%a.Period != 0 {
 			continue
 		}
-		a.buf = append(a.buf, i)
+		dec.Active = append(dec.Active, i)
 	}
-	dec := sim.Decision{Active: a.buf}
-	if len(a.buf) == 0 {
+	if len(dec.Active) == 0 {
 		dec.NextWake = (v.Now/a.Period + 1) * a.Period
 	}
-	return dec
 }
 
 // Delay implements sim.Adversary.
@@ -259,6 +266,9 @@ func (a *SlowSet) DelayMulticast(from int, sentAt int64, out []int64) {
 		out[j] = a.Bound
 	}
 }
+
+// DelayUniform implements sim.UniformDelayer.
+func (a *SlowSet) DelayUniform(from int, sentAt int64) (int64, bool) { return a.Bound, true }
 
 // SlowSetOver is the composable form of SlowSet: it wraps another
 // adversary and removes the designated slow processors from its schedule
@@ -280,13 +290,22 @@ type SlowSetOver struct {
 	Inner  sim.Adversary
 	Slow   map[int]bool
 	Period int64
-	buf    []int
 }
 
 var (
 	_ sim.Adversary        = (*SlowSetOver)(nil)
 	_ sim.MulticastDelayer = (*SlowSetOver)(nil)
+	_ sim.UniformDelayer   = (*SlowSetOver)(nil)
 )
+
+// DelayUniform implements sim.UniformDelayer, uniform exactly when the
+// inner adversary is.
+func (a *SlowSetOver) DelayUniform(from int, sentAt int64) (int64, bool) {
+	if ud, ok := a.Inner.(sim.UniformDelayer); ok {
+		return ud.DelayUniform(from, sentAt)
+	}
+	return 0, false
+}
 
 // NewSlowSetOver wraps inner so processors in slow step only every period
 // units (when inner schedules them at all).
@@ -304,23 +323,22 @@ func NewSlowSetOver(inner sim.Adversary, slow []int, period int64) *SlowSetOver 
 // D implements sim.Adversary.
 func (a *SlowSetOver) D() int64 { return a.Inner.D() }
 
-// Schedule implements sim.Adversary: the inner decision filtered to drop
-// slow processors off-period. The inner adversary's NextWake promise stays
-// valid — filtering only removes activations, never adds them — so idle
-// fast-forwarding still works when the inner adversary promises it.
-func (a *SlowSetOver) Schedule(v *sim.View) sim.Decision {
-	dec := a.Inner.Schedule(v)
-	offPeriod := v.Now%a.Period != 0
-	if offPeriod {
-		a.buf = a.buf[:0]
+// Schedule implements sim.Adversary: the inner decision filtered in
+// place to drop slow processors off-period. The inner adversary's
+// NextWake promise stays valid — filtering only removes activations,
+// never adds them — so idle fast-forwarding still works when the inner
+// adversary promises it.
+func (a *SlowSetOver) Schedule(v *sim.View, dec *sim.Decision) {
+	a.Inner.Schedule(v, dec)
+	if v.Now%a.Period != 0 {
+		kept := dec.Active[:0]
 		for _, i := range dec.Active {
 			if !a.Slow[i] {
-				a.buf = append(a.buf, i)
+				kept = append(kept, i)
 			}
 		}
-		dec.Active = a.buf
+		dec.Active = kept
 	}
-	return dec
 }
 
 // Delay implements sim.Adversary.

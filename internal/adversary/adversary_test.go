@@ -65,7 +65,8 @@ func TestRandomSchedulesLiveness(t *testing.T) {
 	// Even with tiny activity, at least one live processor steps.
 	a := NewRandom(2, 0.0, 4)
 	v := &sim.View{P: 3, Crashed: make([]bool, 3), Halted: make([]bool, 3)}
-	dec := a.Schedule(v)
+	var dec sim.Decision
+	a.Schedule(v, &dec)
 	if len(dec.Active) == 0 {
 		t.Fatal("no processor scheduled")
 	}
@@ -80,7 +81,8 @@ func TestCrashingRespectsSurvivorRule(t *testing.T) {
 	inner := NewFair(1)
 	a := NewCrashing(inner, []CrashEvent{{Pid: 0, At: 0}, {Pid: 1, At: 0}})
 	v := &sim.View{P: 2, Crashed: make([]bool, 2), Halted: make([]bool, 2)}
-	dec := a.Schedule(v)
+	var dec sim.Decision
+	a.Schedule(v, &dec)
 	if len(dec.Crash) > 1 {
 		t.Fatalf("crashed %d processors out of 2; must keep a survivor", len(dec.Crash))
 	}
@@ -92,7 +94,8 @@ func TestSlowSetThrottles(t *testing.T) {
 	// At now=1..3 the slow processor must not be scheduled; at 0 and 4 it is.
 	for now := int64(0); now < 8; now++ {
 		v.Now = now
-		dec := a.Schedule(v)
+		var dec sim.Decision
+		a.Schedule(v, &dec)
 		has1 := false
 		for _, i := range dec.Active {
 			if i == 1 {

@@ -85,8 +85,8 @@ func TestCrashingAdaptsNonBatchedInner(t *testing.T) {
 // plainDelayAdv implements only the base Adversary interface.
 type plainDelayAdv struct{ d int64 }
 
-func (a *plainDelayAdv) D() int64                          { return a.d }
-func (a *plainDelayAdv) Schedule(v *sim.View) sim.Decision { return sim.Decision{} }
+func (a *plainDelayAdv) D() int64                                { return a.d }
+func (a *plainDelayAdv) Schedule(v *sim.View, dec *sim.Decision) {}
 func (a *plainDelayAdv) Delay(from, to int, sentAt int64) int64 {
 	return 1 + (int64(to)+sentAt)%a.d
 }
@@ -97,7 +97,8 @@ func (a *plainDelayAdv) Delay(from, to int, sentAt int64) int64 {
 func TestSlowSetAllSlowFastForwards(t *testing.T) {
 	a := NewSlowSet(2, []int{0, 1}, 10)
 	v := &sim.View{Now: 3, P: 2, Crashed: make([]bool, 2), Halted: make([]bool, 2)}
-	dec := a.Schedule(v)
+	var dec sim.Decision
+	a.Schedule(v, &dec)
 	if len(dec.Active) != 0 {
 		t.Fatalf("off-period schedule activated %v", dec.Active)
 	}
@@ -105,8 +106,70 @@ func TestSlowSetAllSlowFastForwards(t *testing.T) {
 		t.Fatalf("NextWake = %d, want 10", dec.NextWake)
 	}
 	v.Now = 10
-	dec = a.Schedule(v)
+	dec = sim.Decision{}
+	a.Schedule(v, &dec)
 	if len(dec.Active) != 2 {
 		t.Fatalf("on-period schedule = %v, want both", dec.Active)
+	}
+}
+
+// TestDelayUniformMatchesDelay checks the UniformDelayer contract: for
+// every adversary advertising recipient-independent delays, DelayUniform
+// must return exactly what the per-recipient Delay (and therefore the
+// batched path) would, with ok = true.
+func TestDelayUniformMatchesDelay(t *testing.T) {
+	const p, rounds = 7, 12
+	cases := []struct {
+		name string
+		mk   func() sim.Adversary
+	}{
+		{"fair", func() sim.Adversary { return NewFair(4) }},
+		{"fair-fixed", func() sim.Adversary { return &Fair{Bound: 6, Fixed: 2} }},
+		{"slowset", func() sim.Adversary { return NewSlowSet(3, []int{1}, 2) }},
+		{"crashing-over-fair", func() sim.Adversary { return NewCrashing(NewFair(5), nil) }},
+		{"slowsetover-over-fair", func() sim.Adversary { return NewSlowSetOver(NewFair(5), []int{0}, 3) }},
+		{"stage-det", func() sim.Adversary { return NewStageDeterministic(4, 60) }},
+		{"stage-online", func() sim.Adversary { return NewStageOnline(4, 60) }},
+	}
+	for _, c := range cases {
+		adv := c.mk()
+		ud, ok := adv.(sim.UniformDelayer)
+		if !ok {
+			t.Fatalf("%s does not implement UniformDelayer", c.name)
+		}
+		for sentAt := int64(0); sentAt < rounds; sentAt++ {
+			from := int(sentAt) % p
+			got, uniform := ud.DelayUniform(from, sentAt)
+			if !uniform {
+				t.Fatalf("%s: DelayUniform reported non-uniform", c.name)
+			}
+			for j := 0; j < p; j++ {
+				if j == from {
+					continue
+				}
+				if want := adv.Delay(from, j, sentAt); got != want {
+					t.Fatalf("%s: sentAt=%d recipient %d: uniform %d != Delay %d", c.name, sentAt, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDelayUniformRefusesNonUniformInner checks the combinator rule:
+// wrapping a recipient-dependent adversary must surface ok = false so the
+// engine falls back to per-recipient scheduling.
+func TestDelayUniformRefusesNonUniformInner(t *testing.T) {
+	for name, adv := range map[string]sim.UniformDelayer{
+		"crashing-over-random":    NewCrashing(NewRandom(6, 0.5, 1), nil),
+		"crashing-over-plain":     NewCrashing(&plainDelayAdv{d: 5}, nil),
+		"slowsetover-over-random": NewSlowSetOver(NewRandom(6, 0.5, 1), []int{0}, 2),
+	} {
+		if _, ok := adv.DelayUniform(0, 3); ok {
+			t.Fatalf("%s: claimed uniform delays over a recipient-dependent inner adversary", name)
+		}
+	}
+	var nonUniform any = NewRandom(6, 0.5, 1)
+	if _, ok := nonUniform.(sim.UniformDelayer); ok {
+		t.Fatal("Random must not implement UniformDelayer")
 	}
 }

@@ -70,7 +70,6 @@ type StageDeterministic struct {
 	// delayed[i] reports that processor i is delayed for the current stage.
 	delayed  []bool
 	curStage int64
-	active   []int
 	// Stages counts adversarial stages actually executed (for reporting).
 	Stages int64
 }
@@ -78,6 +77,7 @@ type StageDeterministic struct {
 var (
 	_ sim.Adversary        = (*StageDeterministic)(nil)
 	_ sim.MulticastDelayer = (*StageDeterministic)(nil)
+	_ sim.UniformDelayer   = (*StageDeterministic)(nil)
 )
 
 // NewStageDeterministic builds the Theorem 3.1 adversary for t tasks and
@@ -110,10 +110,15 @@ func (a *StageDeterministic) DelayMulticast(from int, sentAt int64, out []int64)
 	}
 }
 
+// DelayUniform implements sim.UniformDelayer.
+func (a *StageDeterministic) DelayUniform(from int, sentAt int64) (int64, bool) {
+	return a.clock.delayToStageEnd(sentAt), true
+}
+
 // Schedule implements sim.Adversary. When the construction has delayed
 // every live processor for the rest of the stage, the decision promises
 // idleness until the stage boundary so the engine can fast-forward.
-func (a *StageDeterministic) Schedule(v *sim.View) sim.Decision {
+func (a *StageDeterministic) Schedule(v *sim.View, dec *sim.Decision) {
 	if len(a.delayed) != v.P {
 		a.delayed = make([]bool, v.P)
 	}
@@ -122,17 +127,14 @@ func (a *StageDeterministic) Schedule(v *sim.View) sim.Decision {
 		a.curStage = st
 		a.planStage(v)
 	}
-	a.active = a.active[:0]
 	for i := 0; i < v.P; i++ {
 		if !a.delayed[i] && !v.Crashed[i] && !v.Halted[i] {
-			a.active = append(a.active, i)
+			dec.Active = append(dec.Active, i)
 		}
 	}
-	dec := sim.Decision{Active: a.active}
-	if len(a.active) == 0 {
+	if len(dec.Active) == 0 {
 		dec.NextWake = (a.clock.stage(v.Now) + 1) * a.clock.L
 	}
-	return dec
 }
 
 // planStage performs the look-ahead and chooses the delayed set.
@@ -166,15 +168,13 @@ func (a *StageDeterministic) planStage(v *sim.View) {
 			continue // cloning unsupported at runtime (e.g. PaRan2)
 		}
 		set := make(map[int]bool)
-		inbox := append([]sim.Message(nil), v.Inboxes[i]...)
+		inbox := append([]sim.Delivery(nil), v.Inboxes[i]...)
 		for k := int64(0); k < a.clock.L; k++ {
 			r := m.Step(v.Now+k, inbox)
 			inbox = nil
-			for _, z := range r.Performed {
-				if !v.DoneTasks[z] {
-					set[z] = true
-					cover[z]++
-				}
+			if z := r.PerformedTask(); z >= 0 && !v.DoneTasks[z] {
+				set[z] = true
+				cover[z]++
 			}
 			if r.Halt {
 				break
@@ -237,7 +237,6 @@ type StageOnline struct {
 	protected map[int]bool
 	delayed   []bool
 	curStage  int64
-	active    []int
 	// Stages counts adversarial stages actually executed.
 	Stages int64
 }
@@ -245,6 +244,7 @@ type StageOnline struct {
 var (
 	_ sim.Adversary        = (*StageOnline)(nil)
 	_ sim.MulticastDelayer = (*StageOnline)(nil)
+	_ sim.UniformDelayer   = (*StageOnline)(nil)
 )
 
 // NewStageOnline builds the Theorem 3.4 adversary for t tasks and delay
@@ -276,8 +276,13 @@ func (a *StageOnline) DelayMulticast(from int, sentAt int64, out []int64) {
 	}
 }
 
+// DelayUniform implements sim.UniformDelayer.
+func (a *StageOnline) DelayUniform(from int, sentAt int64) (int64, bool) {
+	return a.clock.delayToStageEnd(sentAt), true
+}
+
 // Schedule implements sim.Adversary.
-func (a *StageOnline) Schedule(v *sim.View) sim.Decision {
+func (a *StageOnline) Schedule(v *sim.View, dec *sim.Decision) {
 	if len(a.delayed) != v.P {
 		a.delayed = make([]bool, v.P)
 	}
@@ -286,7 +291,6 @@ func (a *StageOnline) Schedule(v *sim.View) sim.Decision {
 		a.curStage = st
 		a.planStage(v)
 	}
-	a.active = a.active[:0]
 	for i := 0; i < v.P; i++ {
 		if a.delayed[i] || v.Crashed[i] || v.Halted[i] {
 			continue
@@ -300,15 +304,13 @@ func (a *StageOnline) Schedule(v *sim.View) sim.Decision {
 				}
 			}
 		}
-		a.active = append(a.active, i)
+		dec.Active = append(dec.Active, i)
 	}
-	dec := sim.Decision{Active: a.active}
-	if len(a.active) == 0 {
+	if len(dec.Active) == 0 {
 		// Everyone is delayed to the stage boundary: promise idleness so
 		// the engine fast-forwards instead of ticking through the stage.
 		dec.NextWake = (a.clock.stage(v.Now) + 1) * a.clock.L
 	}
-	return dec
 }
 
 func (a *StageOnline) planStage(v *sim.View) {

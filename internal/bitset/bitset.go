@@ -108,6 +108,21 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// CopyFrom overwrites s with other's bits. Both sets must have the same
+// length. It is the allocation-free counterpart of Clone, used by payload
+// pools that reuse snapshot buffers.
+func (s *Set) CopyFrom(other *Set) {
+	if other.n != s.n {
+		panic("bitset: CopyFrom length mismatch")
+	}
+	copy(s.words, other.words)
+}
+
+// ClearAll clears every bit, keeping the capacity.
+func (s *Set) ClearAll() {
+	clear(s.words)
+}
+
 // Equal reports whether both sets have identical length and contents.
 func (s *Set) Equal(other *Set) bool {
 	if other.n != s.n {

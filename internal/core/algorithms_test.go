@@ -97,7 +97,7 @@ func TestDASolvesBasic(t *testing.T) {
 		{8, 27, 3},
 		{3, 9, 3},
 		{9, 9, 3},
-		{5, 7, 2},  // non-power sizes exercise padding
+		{5, 7, 2},   // non-power sizes exercise padding
 		{6, 100, 3}, // p < t: job partitioning
 	} {
 		ms := daMachines(t, c.p, c.tasks, c.q, 7)
@@ -260,12 +260,8 @@ func TestNextTaskMatchesStepDA(t *testing.T) {
 	for step := 0; step < 200; step++ {
 		want := m.NextTask()
 		r := m.Step(int64(step), nil)
-		if want >= 0 {
-			if len(r.Performed) != 1 || r.Performed[0] != want {
-				t.Fatalf("step %d: NextTask=%d but Step performed %v", step, want, r.Performed)
-			}
-		} else if len(r.Performed) != 0 {
-			t.Fatalf("step %d: NextTask=-1 but Step performed %v", step, r.Performed)
+		if got := r.PerformedTask(); got != want {
+			t.Fatalf("step %d: NextTask=%d but Step performed %d", step, want, got)
 		}
 		if r.Halt {
 			return
@@ -280,8 +276,8 @@ func TestNextTaskMatchesStepPA(t *testing.T) {
 	for step := 0; step < 100; step++ {
 		want := m.NextTask()
 		r := m.Step(int64(step), nil)
-		if want >= 0 && (len(r.Performed) != 1 || r.Performed[0] != want) {
-			t.Fatalf("step %d: NextTask=%d but Step performed %v", step, want, r.Performed)
+		if want >= 0 && r.PerformedTask() != want {
+			t.Fatalf("step %d: NextTask=%d but Step performed %d", step, want, r.PerformedTask())
 		}
 		if r.Halt {
 			return

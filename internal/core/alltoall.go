@@ -24,6 +24,7 @@ var (
 	_ sim.Machine      = (*AllToAll)(nil)
 	_ sim.TaskIntender = (*AllToAll)(nil)
 	_ sim.Cloner       = (*AllToAll)(nil)
+	_ sim.Resetter     = (*AllToAll)(nil)
 )
 
 // NewAllToAll builds the p machines of the oblivious algorithm for t tasks.
@@ -40,13 +41,15 @@ func NewAllToAll(p, t int) []sim.Machine {
 }
 
 // Step implements sim.Machine: perform the next task in rotated order.
-func (m *AllToAll) Step(now int64, inbox []sim.Message) sim.StepResult {
+func (m *AllToAll) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 	if m.next >= m.t {
 		return sim.StepResult{Halt: true}
 	}
 	z := (m.off + m.next) % m.t
 	m.next++
-	return sim.StepResult{Performed: []int{z}, Halt: m.next >= m.t}
+	r := sim.StepResult{Halt: m.next >= m.t}
+	r.Perform(z)
+	return r
 }
 
 // KnowsAllDone implements sim.Machine: the processor knows all tasks are
@@ -66,3 +69,6 @@ func (m *AllToAll) CloneMachine() sim.Machine {
 	c := *m
 	return &c
 }
+
+// Reset implements sim.Resetter.
+func (m *AllToAll) Reset() { m.next = 0 }

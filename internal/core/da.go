@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"doall/internal/bitset"
 	"doall/internal/perm"
 	"doall/internal/sim"
 	"doall/internal/tree"
@@ -28,8 +29,11 @@ type DA struct {
 	tree   *tree.Tree
 	jobs   Jobs
 	stack  []daFrame
-	unit   int  // tasks of the current leaf's job already performed
+	unit   int // tasks of the current leaf's job already performed
 	halted bool
+	// free pools tree-snapshot buffers handed back by the engine
+	// (sim.PayloadRecycler), so steady-state broadcasts allocate nothing.
+	free []*bitset.Set
 }
 
 type daFrame struct {
@@ -39,9 +43,11 @@ type daFrame struct {
 }
 
 var (
-	_ sim.Machine      = (*DA)(nil)
-	_ sim.TaskIntender = (*DA)(nil)
-	_ sim.Cloner       = (*DA)(nil)
+	_ sim.Machine         = (*DA)(nil)
+	_ sim.TaskIntender    = (*DA)(nil)
+	_ sim.Cloner          = (*DA)(nil)
+	_ sim.Resetter        = (*DA)(nil)
+	_ sim.PayloadRecycler = (*DA)(nil)
 )
 
 // DAConfig parameterizes the DA(q) family.
@@ -103,7 +109,7 @@ func qDigits(pid, q, h int) []int {
 // unit covers processing all of them, per the model) and then advances the
 // traversal by one micro-operation: skip a finished subtree, descend into
 // a child, perform one task of a leaf job, or close a node and multicast.
-func (m *DA) Step(now int64, inbox []sim.Message) sim.StepResult {
+func (m *DA) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 	m.merge(inbox)
 
 	for {
@@ -132,9 +138,11 @@ func (m *DA) Step(now int64, inbox []sim.Message) sim.StepResult {
 				m.unit = 0
 				m.tree.MarkLeaf(job)
 				m.stack = m.stack[:len(m.stack)-1]
-				return sim.StepResult{Performed: []int{z}, Broadcast: TreeSnapshot{Bits: m.tree.SnapshotSet()}}
+				r := sim.StepResult{Broadcast: m.snapshot()}
+				r.Perform(z)
+				return r
 			}
-			return sim.StepResult{Performed: []int{z}}
+			return sim.PerformStep(z)
 		}
 
 		// Interior node: descend into the next not-done child in the
@@ -155,18 +163,40 @@ func (m *DA) Step(now int64, inbox []sim.Message) sim.StepResult {
 		m.stack = m.stack[:len(m.stack)-1]
 		halt := m.tree.AllDone() && len(m.stack) == 0
 		m.halted = halt
-		return sim.StepResult{Broadcast: TreeSnapshot{Bits: m.tree.SnapshotSet()}, Halt: halt}
+		return sim.StepResult{Broadcast: m.snapshot(), Halt: halt}
 	}
 }
 
 // merge applies received tree snapshots to the local replica.
-func (m *DA) merge(inbox []sim.Message) {
+func (m *DA) merge(inbox []sim.Delivery) {
 	for _, msg := range inbox {
-		snap, ok := msg.Payload.(TreeSnapshot)
+		snap, ok := msg.Payload().(TreeSnapshot)
 		if !ok {
 			continue
 		}
 		m.tree.MergeSet(snap.Bits)
+	}
+}
+
+// snapshot captures the progress tree for a broadcast, reusing a pooled
+// buffer when the engine has recycled one (RecyclePayload) and cloning
+// otherwise.
+func (m *DA) snapshot() TreeSnapshot {
+	if n := len(m.free); n > 0 {
+		b := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		m.tree.SnapshotInto(b)
+		return TreeSnapshot{Bits: b}
+	}
+	return TreeSnapshot{Bits: m.tree.SnapshotSet()}
+}
+
+// RecyclePayload implements sim.PayloadRecycler: a tree snapshot whose
+// recipients have all consumed it returns to the buffer pool.
+func (m *DA) RecyclePayload(p any) {
+	if ts, ok := p.(TreeSnapshot); ok && ts.Bits.Len() == m.tree.Size() {
+		m.free = append(m.free, ts.Bits)
 	}
 }
 
@@ -215,8 +245,20 @@ func (m *DA) CloneMachine() sim.Machine {
 	c := *m
 	c.tree = m.tree.Clone()
 	c.stack = append([]daFrame(nil), m.stack...)
+	c.free = nil // pooled buffers stay with the original
 	// digits and perms are immutable; share them.
 	return &c
+}
+
+// Reset implements sim.Resetter: the machine returns to its initial state
+// without allocating (the snapshot buffer pool and stack capacity are
+// kept), after which it replays the exact same traversal.
+func (m *DA) Reset() {
+	m.tree.ResetPadded(m.jobs.N)
+	m.stack = m.stack[:0]
+	m.stack = append(m.stack, daFrame{node: m.tree.Root(), depth: 0})
+	m.unit = 0
+	m.halted = false
 }
 
 // Halted reports whether the machine has voluntarily halted.

@@ -25,6 +25,7 @@ var (
 	_ sim.Machine      = (*ObliDo)(nil)
 	_ sim.TaskIntender = (*ObliDo)(nil)
 	_ sim.Cloner       = (*ObliDo)(nil)
+	_ sim.Resetter     = (*ObliDo)(nil)
 )
 
 // NewObliDo builds p ObliDo machines for t tasks using the schedule list
@@ -43,7 +44,7 @@ func NewObliDo(p, t int, l perm.List) []sim.Machine {
 }
 
 // Step implements sim.Machine.
-func (m *ObliDo) Step(now int64, inbox []sim.Message) sim.StepResult {
+func (m *ObliDo) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 	if m.jobIx >= len(m.order) {
 		return sim.StepResult{Halt: true}
 	}
@@ -54,7 +55,9 @@ func (m *ObliDo) Step(now int64, inbox []sim.Message) sim.StepResult {
 		m.jobIx++
 		m.unit = 0
 	}
-	return sim.StepResult{Performed: []int{z}, Halt: m.jobIx >= len(m.order)}
+	r := sim.StepResult{Halt: m.jobIx >= len(m.order)}
+	r.Perform(z)
+	return r
 }
 
 // KnowsAllDone implements sim.Machine.
@@ -73,3 +76,6 @@ func (m *ObliDo) CloneMachine() sim.Machine {
 	c := *m
 	return &c
 }
+
+// Reset implements sim.Resetter.
+func (m *ObliDo) Reset() { m.jobIx, m.unit = 0, 0 }

@@ -36,6 +36,9 @@ type PA struct {
 	cur      int // current job, -1 if none selected
 	unit     int // tasks of current job already performed
 	halted   bool
+	// free pools done-set snapshot buffers handed back by the engine
+	// (sim.PayloadRecycler), so steady-state broadcasts allocate nothing.
+	free []*bitset.Set
 }
 
 // selector abstracts the Order+Select specializations of Fig. 4.
@@ -46,11 +49,15 @@ type selector interface {
 	// clone returns a deep copy, or nil if the selector is not cloneable
 	// (PaRan2's on-line randomness).
 	clone() selector
+	// reset restores the selector's initial position for a fresh trial.
+	reset()
 }
 
 var (
-	_ sim.Machine      = (*PA)(nil)
-	_ sim.TaskIntender = (*PA)(nil)
+	_ sim.Machine         = (*PA)(nil)
+	_ sim.TaskIntender    = (*PA)(nil)
+	_ sim.Resetter        = (*PA)(nil)
+	_ sim.PayloadRecycler = (*PA)(nil)
 )
 
 // permSelector walks a fixed permutation of the jobs (PaRan1, PaDet).
@@ -74,6 +81,8 @@ func (s *permSelector) clone() selector {
 	c := *s
 	return &c
 }
+
+func (s *permSelector) reset() { s.pos = 0 }
 
 // randSelector draws uniformly among not-known-done jobs (PaRan2). It
 // commits to its next draw so that an adaptive adversary may observe it
@@ -100,6 +109,10 @@ func (s *randSelector) next(done *bitset.Set) int {
 }
 
 func (s *randSelector) clone() selector { return nil }
+
+// reset drops the commitment; the random stream continues, so a reset
+// PaRan2 runs a fresh trial rather than a replay.
+func (s *randSelector) reset() { s.committed = -1 }
 
 // NewPaRan1 builds the p machines of algorithm PaRan1 for t tasks; each
 // processor draws its job permutation from a rand source seeded with
@@ -158,7 +171,7 @@ func newPA(pid int, jobs Jobs, sel selector) *PA {
 }
 
 // Step implements sim.Machine.
-func (m *PA) Step(now int64, inbox []sim.Message) sim.StepResult {
+func (m *PA) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 	m.mergeInbox(inbox)
 
 	if m.remain == 0 {
@@ -179,7 +192,7 @@ func (m *PA) Step(now int64, inbox []sim.Message) sim.StepResult {
 	z := m.jobs.Start(m.cur) + m.unit
 	m.unit++
 	if m.unit < m.jobs.Size(m.cur) {
-		return sim.StepResult{Performed: []int{z}}
+		return sim.PerformStep(z)
 	}
 
 	// Job complete: record, multicast the done-set, possibly halt.
@@ -188,16 +201,17 @@ func (m *PA) Step(now int64, inbox []sim.Message) sim.StepResult {
 	m.unit = 0
 	halt := m.remain == 0
 	m.halted = halt
-	return sim.StepResult{
-		Performed: []int{z},
+	r := sim.StepResult{
 		Broadcast: m.snapshot(),
 		Halt:      halt,
 	}
+	r.Perform(z)
+	return r
 }
 
-func (m *PA) mergeInbox(inbox []sim.Message) {
+func (m *PA) mergeInbox(inbox []sim.Delivery) {
 	for _, msg := range inbox {
-		ds, ok := msg.Payload.(DoneSet)
+		ds, ok := msg.Payload().(DoneSet)
 		if !ok || ds.Bits.Len() != m.done.Len() {
 			continue
 		}
@@ -212,8 +226,25 @@ func (m *PA) markDone(j int) {
 	}
 }
 
+// snapshot captures the done-set for a broadcast, reusing a pooled buffer
+// when the engine has recycled one (RecyclePayload) and cloning otherwise.
 func (m *PA) snapshot() DoneSet {
+	if n := len(m.free); n > 0 {
+		b := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		b.CopyFrom(m.done)
+		return DoneSet{Bits: b}
+	}
 	return DoneSet{Bits: m.done.Clone()}
+}
+
+// RecyclePayload implements sim.PayloadRecycler: a done-set snapshot whose
+// recipients have all consumed it returns to the buffer pool.
+func (m *PA) RecyclePayload(p any) {
+	if ds, ok := p.(DoneSet); ok && ds.Bits.Len() == m.done.Len() {
+		m.free = append(m.free, ds.Bits)
+	}
 }
 
 // KnowsAllDone implements sim.Machine.
@@ -247,7 +278,21 @@ func (m *PA) CloneMachine() sim.Machine {
 	c := *m
 	c.selector = sel
 	c.done = m.done.Clone()
+	c.free = nil // pooled buffers stay with the original
 	return &c
+}
+
+// Reset implements sim.Resetter: the machine returns to its initial state
+// without allocating (the snapshot buffer pool is kept). PaRan1 and PaDet
+// replay the exact same schedule; PaRan2's random stream continues, so a
+// reset machine runs a fresh trial.
+func (m *PA) Reset() {
+	m.done.ClearAll()
+	m.remain = m.jobs.N
+	m.selector.reset()
+	m.cur = -1
+	m.unit = 0
+	m.halted = false
 }
 
 // Halted reports whether the machine has voluntarily halted.

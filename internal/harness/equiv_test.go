@@ -128,20 +128,15 @@ func TestEngineEquivalenceNonUniformDelays(t *testing.T) {
 // deterministic function of the recipient, so one multicast fans out to
 // several delivery times.
 type recipientSkewAdv struct {
-	d   int64
-	all []int
+	d int64
 }
 
 func (a *recipientSkewAdv) D() int64 { return a.d }
 
-func (a *recipientSkewAdv) Schedule(v *sim.View) sim.Decision {
-	if len(a.all) != v.P {
-		a.all = make([]int, v.P)
-		for i := range a.all {
-			a.all[i] = i
-		}
+func (a *recipientSkewAdv) Schedule(v *sim.View, dec *sim.Decision) {
+	for i := 0; i < v.P; i++ {
+		dec.Active = append(dec.Active, i)
 	}
-	return sim.Decision{Active: a.all}
 }
 
 func (a *recipientSkewAdv) Delay(from, to int, sentAt int64) int64 {

@@ -89,11 +89,11 @@ func Run(cfg Config, machines []sim.Machine) (*Report, error) {
 	}
 
 	r := &runner{
-		cfg:     cfg,
-		unit:    unit,
-		post:    make(chan sim.Message, 16*cfg.P),
-		inboxes: make([]chan sim.Message, cfg.P),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		unit:     unit,
+		post:     make(chan sim.Message, 16*cfg.P),
+		inboxes:  make([]chan sim.Message, cfg.P),
+		done:     make(chan struct{}),
 		taskDone: make([]atomic.Bool, cfg.T),
 		report: &Report{
 			PerProcSteps: make([]int64, cfg.P),
@@ -212,13 +212,17 @@ func (r *runner) processor(pid int, m sim.Machine) {
 		}
 
 		// Drain the inbox without blocking: processing any number of
-		// pending messages is part of this one step, per the model.
-		var inbox []sim.Message
+		// pending messages is part of this one step, per the model. Each
+		// channel message is wrapped in its own delivery record; the
+		// runtime is paced by wall-clock units, so the per-message
+		// allocation is noise here (the simulator's engine pools these).
+		var inbox []sim.Delivery
 	drain:
 		for {
 			select {
 			case msg := <-r.inboxes[pid]:
-				inbox = append(inbox, msg)
+				mc := &sim.Multicast{From: msg.From, SentAt: msg.SentAt, Payload: msg.Payload}
+				inbox = append(inbox, sim.Delivery{MC: mc, At: local})
 			default:
 				break drain
 			}
@@ -228,7 +232,7 @@ func (r *runner) processor(pid int, m sim.Machine) {
 		local++
 		r.steps.Add(1)
 
-		for _, z := range res.Performed {
+		if z := res.PerformedTask(); z != sim.NoTask {
 			r.execs.Add(1)
 			if !r.taskDone[z].Swap(true) {
 				r.undone.Add(-1)

@@ -108,8 +108,8 @@ func TestRunTimeout(t *testing.T) {
 
 type stuckMachine struct{}
 
-func (stuckMachine) Step(now int64, inbox []sim.Message) sim.StepResult { return sim.StepResult{} }
-func (stuckMachine) KnowsAllDone() bool                                 { return false }
+func (stuckMachine) Step(now int64, inbox []sim.Delivery) sim.StepResult { return sim.StepResult{} }
+func (stuckMachine) KnowsAllDone() bool                                  { return false }
 
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(Config{P: 2, T: 1, D: 1}, nil); err == nil {

@@ -247,6 +247,37 @@ func (r *Result) Messages() int64 {
 // Run executes the scenario once on its backend with no options.
 func Run(sc Scenario) (*Result, error) { return RunWith(sc, Options{}) }
 
+// RunOn executes the scenario once on a caller-owned reusable simulation
+// engine: machines and the adversary are rebuilt from the scenario's seed
+// (construction must stay seed-deterministic), but the engine's wheel
+// buckets, inboxes, result arrays, and multicast pool carry over from the
+// previous run, so trial loops avoid rebuilding the simulation substrate
+// per trial. Results are byte-identical to Run's — buffer reuse is
+// invisible to the model (asserted by tests).
+//
+// The returned Result aliases engine-owned storage and is overwritten by
+// the next RunOn with the same engine; copy what must outlive it. Only
+// BackendSim scenarios are supported; other backends fall back to Run.
+func RunOn(eng *sim.Engine, sc Scenario) (*Result, error) {
+	sc = sc.WithDefaults()
+	if sc.Backend != BackendSim || eng == nil {
+		return Run(sc)
+	}
+	ms, err := sc.Machines()
+	if err != nil {
+		return nil, err
+	}
+	adv, err := sc.BuildAdversary()
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(sim.Config{P: sc.P, T: sc.T, MaxSteps: sc.MaxSteps}, ms, adv)
+	if res == nil {
+		return nil, err
+	}
+	return &Result{Backend: sc.Backend, Sim: res}, err
+}
+
 // RunWith executes the scenario once with the given options. On simulator
 // backends a partial Result accompanies step-cap errors, mirroring
 // sim.Run.

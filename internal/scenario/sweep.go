@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"doall/internal/sim"
 )
 
 // SweepConfig declares an (algorithm, adversary, p, t, d) grid to measure.
@@ -38,6 +40,14 @@ type SweepConfig struct {
 	Workers int
 	// MaxSteps overrides the simulator step cap per run (0 = default).
 	MaxSteps int64
+	// Progress, when non-nil, is invoked after every completed cell with
+	// the number of cells finished so far and the grid total, driven off
+	// the sweep's atomic completion counter. It is called concurrently
+	// from worker goroutines and must be safe for concurrent use;
+	// (done, total) pairs arrive in completion order, which under
+	// sharding is not grid order. Keep it cheap — it runs on the workers'
+	// critical path.
+	Progress func(done, total int)
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -135,7 +145,11 @@ func (c SweepConfig) Specs() []Scenario {
 // goroutines via a shared cursor. Results are returned in Specs order and
 // are byte-for-byte identical for any worker count: each cell builds its
 // own machines and adversary from its own derived seed, so no state is
-// shared between shards.
+// shared between shards. Each worker owns one reusable simulation engine
+// (sim.Engine) carried across all of its cells and trials, so the wheel
+// buckets, inboxes, result arrays, and multicast pool are allocated once
+// per worker instead of once per run — buffer reuse that the engine
+// guarantees is invisible in the Results.
 func RunSweep(c SweepConfig) []Cell {
 	c = c.withDefaults()
 	specs := c.Specs()
@@ -144,18 +158,22 @@ func RunSweep(c SweepConfig) []Cell {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
-	var cursor atomic.Int64
+	var cursor, completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			eng := sim.NewEngine()
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(specs) {
 					return
 				}
-				cells[i] = runCell(specs[i], c.Trials)
+				cells[i] = runCell(specs[i], c.Trials, eng)
+				if done := int(completed.Add(1)); c.Progress != nil {
+					c.Progress(done, len(specs))
+				}
 			}
 		}()
 	}
@@ -163,8 +181,9 @@ func RunSweep(c SweepConfig) []Cell {
 	return cells
 }
 
-// runCell executes one grid cell's trials and averages the measures.
-func runCell(sc Scenario, trials int) Cell {
+// runCell executes one grid cell's trials on the worker's reusable engine
+// and averages the measures.
+func runCell(sc Scenario, trials int, eng *sim.Engine) Cell {
 	cell := Cell{
 		Algo: sc.Algorithm, Adversary: sc.Adversary,
 		P: sc.P, T: sc.T, D: sc.D, Seed: sc.Seed, Trials: trials,
@@ -173,7 +192,7 @@ func runCell(sc Scenario, trials int) Cell {
 	for i := 0; i < trials; i++ {
 		run := sc
 		run.Seed = sc.Seed + int64(i)
-		res, err := Run(run)
+		res, err := RunOn(eng, run)
 		if err != nil {
 			// Drop the partial sums: a failed cell reports only its error,
 			// never a misleading fraction of an average.
@@ -212,7 +231,7 @@ type SweepReport struct {
 func NewSweepReport(c SweepConfig) SweepReport {
 	c = c.withDefaults()
 	return SweepReport{
-		Engine:     "multicast-wheel",
+		Engine:     "multicast-wheel-pooled",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Adversary:  strings.Join(c.Adversaries, ";"),
 		BaseSeed:   c.BaseSeed,

@@ -3,7 +3,12 @@ package scenario
 import (
 	"encoding/json"
 	"os"
+	"reflect"
+	"sort"
+	"sync"
 	"testing"
+
+	"doall/internal/sim"
 )
 
 // TestSweepAdversaryGrid exercises the adversary-expression axis: every
@@ -67,5 +72,148 @@ func TestBench0SchemaStillReadable(t *testing.T) {
 		if c.Adversary != "" {
 			t.Fatalf("pre-axis cell unexpectedly has adversary %q", c.Adversary)
 		}
+	}
+}
+
+// TestRunOnMatchesRun pins the reusable-engine path the sweep runner
+// stands on: RunOn with one shared engine reproduces Run's Result byte
+// for byte across a mix of algorithms, adversaries, and shapes run back
+// to back on the same engine.
+func TestRunOnMatchesRun(t *testing.T) {
+	scs := []Scenario{
+		{Algorithm: AlgoPaRan1, P: 8, T: 32, D: 2, Seed: 3},
+		{Algorithm: AlgoDA, P: 5, T: 25, D: 4, Seed: 9, Adversary: "crashing(crash=0@2)"},
+		{Algorithm: AlgoPaRan2, P: 6, T: 24, D: 3, Seed: 1, Adversary: "random"},
+		{Algorithm: AlgoPaRan1, P: 8, T: 32, D: 2, Seed: 3}, // repeat of the first
+		{Algorithm: AlgoAllToAll, P: 3, T: 12, D: 1, Seed: 2},
+	}
+	eng := sim.NewEngine()
+	for i, sc := range scs {
+		want, errW := Run(sc)
+		got, errG := RunOn(eng, sc)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("scenario %d: error mismatch: %v vs %v", i, errW, errG)
+		}
+		if !reflect.DeepEqual(want.Sim, got.Sim) {
+			t.Fatalf("scenario %d (%s): RunOn diverged from Run:\nfresh:  %+v\nreused: %+v",
+				i, sc.Algorithm, want.Sim, got.Sim)
+		}
+	}
+}
+
+// TestRunOnFallsBackOffSimBackend: non-sim backends take the plain Run
+// path rather than failing.
+func TestRunOnFallsBackOffSimBackend(t *testing.T) {
+	sc := Scenario{Algorithm: AlgoPaRan1, P: 4, T: 8, D: 2, Seed: 1, Backend: BackendSimLegacy}
+	res, err := RunOn(sim.NewEngine(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != BackendSimLegacy || !res.Solved() {
+		t.Fatalf("fallback run: backend=%q solved=%v", res.Backend, res.Solved())
+	}
+}
+
+// TestSweepProgressCallback: the Progress hook must fire once per cell
+// with a monotone completion count ending at the grid total, regardless
+// of worker count.
+func TestSweepProgressCallback(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var seen []int
+		cfg := SweepConfig{
+			Algos:    []string{AlgoAllToAll, AlgoPaRan1},
+			Ps:       []int{2, 4},
+			Ts:       []int{8},
+			Ds:       []int64{1, 2},
+			BaseSeed: 1,
+			Workers:  workers,
+			Progress: func(done, total int) {
+				if total != 8 {
+					t.Errorf("total = %d, want 8", total)
+				}
+				mu.Lock()
+				seen = append(seen, done)
+				mu.Unlock()
+			},
+		}
+		cells := RunSweep(cfg)
+		if len(cells) != 8 {
+			t.Fatalf("%d cells, want 8", len(cells))
+		}
+		if len(seen) != 8 {
+			t.Fatalf("workers=%d: Progress fired %d times, want 8", workers, len(seen))
+		}
+		sort.Ints(seen)
+		for i, d := range seen {
+			if d != i+1 {
+				t.Fatalf("workers=%d: completion counts %v, want 1..8", workers, seen)
+			}
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts re-asserts the sharding
+// contract now that workers carry reusable engines: any worker count
+// yields byte-identical cells (timings aside).
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := SweepConfig{
+		Algos:    []string{AlgoPaRan1, AlgoDA},
+		Ps:       []int{4, 8},
+		Ts:       []int{32},
+		Ds:       []int64{2},
+		BaseSeed: 11,
+		Trials:   2,
+	}
+	strip := func(cells []Cell) []Cell {
+		out := append([]Cell(nil), cells...)
+		for i := range out {
+			out[i].NsPerRun = 0
+		}
+		return out
+	}
+	cfg.Workers = 1
+	serial := strip(RunSweep(cfg))
+	for _, w := range []int{3, 8} {
+		cfg.Workers = w
+		if got := strip(RunSweep(cfg)); !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d diverged from serial:\nserial: %+v\ngot:    %+v", w, serial, got)
+		}
+	}
+}
+
+// TestBench0CellsReproduce re-runs the cheap corner of the committed
+// BENCH_0.json grid (p=16, t=256; PaDet excluded for its schedule-search
+// cost) and requires the recorded work/messages/solved_at to reproduce
+// exactly. This is the cross-PR determinism contract: engine rewrites may
+// only move ns_per_run, never the model quantities.
+func TestBench0CellsReproduce(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_0.json")
+	if err != nil {
+		t.Skipf("BENCH_0.json not present: %v", err)
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	eng := sim.NewEngine()
+	for _, c := range rep.Cells {
+		if c.P != 16 || c.T != 256 || c.Algo == AlgoPaDet {
+			continue
+		}
+		sc := Scenario{Algorithm: c.Algo, Adversary: rep.Adversary, P: c.P, T: c.T, D: c.D, Seed: c.Seed}
+		got := runCell(sc, c.Trials, eng)
+		if got.Err != "" {
+			t.Fatalf("cell %s/d=%d failed: %s", c.Algo, c.D, got.Err)
+		}
+		if got.Work != c.Work || got.Messages != c.Messages || got.SolvedAt != c.SolvedAt {
+			t.Errorf("cell %s/d=%d diverged from BENCH_0: work %v→%v, messages %v→%v, solved_at %v→%v",
+				c.Algo, c.D, c.Work, got.Work, c.Messages, got.Messages, c.SolvedAt, got.SolvedAt)
+		}
+		checked++
+	}
+	if checked != 9 {
+		t.Fatalf("checked %d cells, want 9 (grid layout changed?)", checked)
 	}
 }

@@ -11,19 +11,69 @@ import (
 // adversary, and produces Results identical to RunLegacy's for every
 // algorithm × adversary pair (asserted by the equivalence tests).
 //
-// This is the multicast-native engine: one broadcast is one Multicast
-// record plus one timing-wheel event (uniform delays) or p-1 lightweight
-// events (non-uniform), never p-1 heap-queued Message copies. Inbox
-// slices are reused across ticks, the adversary View is built once and
-// updated in place, the adversary is consulted once per broadcast when
-// it implements MulticastDelayer, and idle stretches announced via
-// Decision.NextWake are fast-forwarded instead of ticked through.
+// Run builds a fresh Engine per call, so the returned Result is the
+// caller's to keep. Trial loops that run many simulations of the same
+// shape should hold one Engine and call its Run method instead: the
+// engine's wheel buckets, inboxes, result arrays, and multicast pool then
+// carry over from trial to trial and steady-state runs allocate nothing.
 func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
+	return NewEngine().Run(cfg, machines, adv)
+}
+
+// Engine is a reusable multicast-native simulation engine: one broadcast
+// is one pooled Multicast record plus one timing-wheel event (uniform
+// delays) or p-1 lightweight events (non-uniform), never p-1 heap-queued
+// message copies. Inbox slices, the adversary View and Decision, the
+// delay scratch, and the Result arrays are all engine-owned and reused
+// across ticks and across runs; idle stretches announced via
+// Decision.NextWake are fast-forwarded instead of ticked through.
+//
+// An Engine is not safe for concurrent use; sweeps hold one per worker.
+type Engine struct {
+	cfg      Config
+	machines []Machine
+	adv      Adversary
+	obs      Observer         // cfg.Observer; nil = zero-cost no hooks
+	batched  MulticastDelayer // adv, when it supports batched delays
+	uniform  UniformDelayer   // adv, when its delays are recipient-independent
+	d        int64            // adv.D(), cached
+	wheel    *wheel
+	inbox    [][]Delivery
+	crashed  []bool
+	halted   []bool
+	stopped  int // processors crashed or halted
+	done     []bool
+	undone   int
+	inflight int // undelivered point-to-point messages
+	res      Result
+	view     View     // reused across ticks; only Now/Undone/InFlight change
+	dec      Decision // reused across ticks; adversaries append into it
+	delays   []int64  // scratch for per-recipient delays, length P
+	// recyclers[i] is machines[i]'s PayloadRecycler, nil when unsupported.
+	recyclers []PayloadRecycler
+	// freeMC pools Multicast records across broadcasts and runs; a record
+	// returns here once its last outstanding delivery is consumed.
+	freeMC   []*Multicast
+	allBut   []*bitset.Set // lazily built all-but-sender recipient sets
+	idle     bool
+	nextWake int64
+}
+
+// NewEngine returns an empty engine; the first Run sizes its buffers.
+func NewEngine() *Engine { return &Engine{} }
+
+// Run executes machines under the adversary, reusing every internal
+// buffer left over from previous runs of compatible shape.
+//
+// The returned Result is owned by the engine and overwritten by the next
+// Run call; copy any fields that must outlive it. The package-level Run
+// wrapper returns a caller-owned Result instead.
+func (e *Engine) Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 	maxSteps, err := validateRun(cfg, machines, adv)
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(cfg, machines, adv)
+	e.reset(cfg, machines, adv)
 
 	for now := int64(0); now < maxSteps; {
 		if e.stopped == cfg.P {
@@ -50,74 +100,153 @@ func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 		}
 		now = next
 	}
+	e.drain()
 	if !e.res.Solved {
-		return e.res, ErrStepCap
+		return &e.res, ErrStepCap
 	}
-	return e.res, nil
+	return &e.res, nil
 }
 
-type engine struct {
-	cfg      Config
-	machines []Machine
-	adv      Adversary
-	obs      Observer // cfg.Observer; nil = zero-cost no hooks
-	batched  MulticastDelayer // adv, when it supports batched delays
-	d        int64            // adv.D(), cached
-	wheel    *wheel
-	inbox    [][]Message
-	crashed  []bool
-	halted   []bool
-	stopped  int // processors crashed or halted
-	done     []bool
-	undone   int
-	inflight int // undelivered point-to-point messages
-	res      *Result
-	view     View          // reused across ticks; only Now/Undone/InFlight change
-	delays   []int64       // scratch for per-recipient delays, length P
-	allBut   []*bitset.Set // lazily built all-but-sender recipient sets
-	idle     bool
-	nextWake int64
+// drain releases every delivery still outstanding when the run ends —
+// events left in the wheel and deliveries never consumed from inboxes —
+// recycling their records and handing pooled payloads back to the
+// senders. Runs routinely end with messages in flight (the last halting
+// step's broadcast, at least), and without the drain those payload
+// buffers would leak out of their machines' pools, costing a fresh
+// allocation per lost buffer on the next trial. Draining has no
+// observable effect on the Result; it only settles buffer ownership.
+func (e *Engine) drain() {
+	w := e.wheel
+	if w.events > 0 {
+		fan := int32(e.cfg.P - 1)
+		settle := func(evs []wevent) {
+			for _, ev := range evs {
+				if ev.to >= 0 {
+					e.release(ev.mc)
+				} else {
+					// A pending uniform event means none of its p-1
+					// deliveries happened.
+					ev.mc.outstanding -= fan - 1
+					e.release(ev.mc)
+				}
+			}
+		}
+		for _, b := range w.buckets {
+			settle(b)
+		}
+		settle(w.overflow)
+	}
+	w.reset()
+	for i := range e.inbox {
+		for _, d := range e.inbox[i] {
+			e.release(d.MC)
+		}
+		clear(e.inbox[i])
+		e.inbox[i] = e.inbox[i][:0]
+	}
 }
 
-func newEngine(cfg Config, machines []Machine, adv Adversary) *engine {
-	e := &engine{
-		cfg:      cfg,
-		machines: machines,
-		adv:      adv,
-		obs:      cfg.Observer,
-		d:        adv.D(),
-		wheel:    newWheel(adv.D()),
-		inbox:    make([][]Message, cfg.P),
-		crashed:  make([]bool, cfg.P),
-		halted:   make([]bool, cfg.P),
-		done:     make([]bool, cfg.T),
-		undone:   cfg.T,
-		delays:   make([]int64, cfg.P),
-		allBut:   make([]*bitset.Set, cfg.P),
-		res: &Result{
-			SolvedAt:    -1,
-			PerProcWork: make([]int64, cfg.P),
-			FirstDoneAt: make([]int64, cfg.T),
-		},
+// reset prepares the engine for a run, reallocating only the buffers
+// whose shape changed since the previous run.
+func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
+	p, t := cfg.P, cfg.T
+	if len(e.inbox) != p {
+		e.inbox = make([][]Delivery, p)
+		e.crashed = make([]bool, p)
+		e.halted = make([]bool, p)
+		e.delays = make([]int64, p)
+		e.recyclers = make([]PayloadRecycler, p)
+		e.allBut = make([]*bitset.Set, p)
+	} else {
+		for i := range e.inbox {
+			// Unconsumed deliveries from the previous run: drop the
+			// references (their records are not recycled — they may hold
+			// the previous machines' payloads).
+			clear(e.inbox[i])
+			e.inbox[i] = e.inbox[i][:0]
+		}
+		clear(e.crashed)
+		clear(e.halted)
+		// allBut depends only on p; keep the cached sets.
 	}
-	for z := range e.res.FirstDoneAt {
-		e.res.FirstDoneAt[z] = -1
+	if len(e.done) != t {
+		e.done = make([]bool, t)
+	} else {
+		clear(e.done)
 	}
+	for i, m := range machines {
+		e.recyclers[i], _ = m.(PayloadRecycler)
+	}
+	e.cfg = cfg
+	e.machines = machines
+	e.adv = adv
+	e.obs = cfg.Observer
 	e.batched, _ = adv.(MulticastDelayer)
+	e.uniform, _ = adv.(UniformDelayer)
+	e.d = adv.D()
+	if e.wheel == nil || len(e.wheel.buckets) != wheelBuckets(e.d) {
+		e.wheel = newWheel(e.d)
+	} else {
+		e.wheel.reset()
+	}
+	e.stopped = 0
+	e.undone = t
+	e.inflight = 0
+	e.idle = false
+	e.nextWake = 0
+	e.res.reset(p, t)
+	e.dec.reset()
 	e.view = View{
-		P:         cfg.P,
-		T:         cfg.T,
+		P:         p,
+		T:         t,
 		DoneTasks: e.done, // shared; adversaries must not mutate
 		Machines:  machines,
 		Inboxes:   e.inbox,
 		Crashed:   e.crashed,
 		Halted:    e.halted,
 	}
-	return e
+}
+
+// getMC takes a multicast record from the pool (or allocates the pool's
+// next record) and initializes it for a send from i at time now.
+func (e *Engine) getMC(i int, now int64, payload any, outstanding int32) *Multicast {
+	var mc *Multicast
+	if n := len(e.freeMC); n > 0 {
+		mc = e.freeMC[n-1]
+		e.freeMC = e.freeMC[:n-1]
+	} else {
+		mc = new(Multicast)
+	}
+	mc.From = i
+	mc.SentAt = now
+	mc.Payload = payload
+	mc.Recipients = nil
+	mc.outstanding = outstanding
+	return mc
+}
+
+// release drops one outstanding delivery of mc; the last release recycles
+// the record, handing the payload back to the sender when it pools
+// payloads (PayloadRecycler).
+func (e *Engine) release(mc *Multicast) {
+	mc.outstanding--
+	if mc.outstanding == 0 {
+		e.recycleMC(mc)
+	}
+}
+
+// recycleMC returns a fully released record to the pool.
+func (e *Engine) recycleMC(mc *Multicast) {
+	if rc := e.recyclers[mc.From]; rc != nil && mc.Payload != nil {
+		rc.RecyclePayload(mc.Payload)
+	}
+	mc.Payload = nil
+	mc.Recipients = nil
+	e.freeMC = append(e.freeMC, mc)
 }
 
 // allButSet returns the cached recipient set {0..P-1} \ {i}.
-func (e *engine) allButSet(i int) *bitset.Set {
+func (e *Engine) allButSet(i int) *bitset.Set {
 	if e.allBut[i] == nil {
 		s := bitset.New(e.cfg.P)
 		for j := 0; j < e.cfg.P; j++ {
@@ -130,8 +259,8 @@ func (e *engine) allButSet(i int) *bitset.Set {
 	return e.allBut[i]
 }
 
-// deliver appends the due event's messages to the recipient inboxes.
-func (e *engine) deliver(ev wevent, at int64) {
+// deliver appends the due event's deliveries to the recipient inboxes.
+func (e *Engine) deliver(ev wevent, at int64) {
 	mc := ev.mc
 	if ev.to >= 0 {
 		e.inflight--
@@ -139,25 +268,42 @@ func (e *engine) deliver(ev wevent, at int64) {
 		return
 	}
 	e.inflight -= e.cfg.P - 1
+	if e.stopped == 0 && e.obs == nil {
+		// Fast path for the common benign case: every processor is live,
+		// no observer — fan the uniform multicast out with no per-
+		// recipient liveness checks or hook branches. mc.Recipients for a
+		// broadcast is always all-but-sender, so the set membership test
+		// reduces to skipping the sender.
+		from := mc.From
+		for j := range e.inbox {
+			if j != from {
+				e.inbox[j] = append(e.inbox[j], Delivery{MC: mc, At: at})
+			}
+		}
+		return
+	}
 	r := mc.Recipients
 	for j := r.NextSet(0); j >= 0; j = r.NextSet(j + 1) {
 		e.deliverOne(mc, j, at)
 	}
 }
 
-func (e *engine) deliverOne(mc *Multicast, j int, at int64) {
-	if !e.crashed[j] && !e.halted[j] {
-		m := Message{From: mc.From, To: j, SentAt: mc.SentAt, DeliverAt: at, Payload: mc.Payload}
-		e.inbox[j] = append(e.inbox[j], m)
-		if e.obs != nil {
-			e.obs.OnDeliver(m)
-		}
+func (e *Engine) deliverOne(mc *Multicast, j int, at int64) {
+	if e.crashed[j] || e.halted[j] {
+		// The recipient will never consume this delivery; drop the
+		// reference now so the record can be recycled.
+		e.release(mc)
+		return
+	}
+	e.inbox[j] = append(e.inbox[j], Delivery{MC: mc, At: at})
+	if e.obs != nil {
+		e.obs.OnDeliver(Message{From: mc.From, To: j, SentAt: mc.SentAt, DeliverAt: at, Payload: mc.Payload})
 	}
 }
 
 // tick advances one global time unit (mirrors legacyState.tick step for
 // step; any observable divergence is an engine bug).
-func (e *engine) tick(now int64) {
+func (e *Engine) tick(now int64) {
 	// 1. Deliver messages due now (and any skipped over, defensively).
 	e.wheel.advanceTo(now, e.deliver)
 
@@ -166,7 +312,9 @@ func (e *engine) tick(now int64) {
 	v.Now = now
 	v.Undone = e.undone
 	v.InFlight = e.inflight
-	dec := e.adv.Schedule(v)
+	dec := &e.dec
+	dec.reset()
+	e.adv.Schedule(v, dec)
 	for _, i := range dec.Crash {
 		if i >= 0 && i < e.cfg.P && !e.crashed[i] {
 			if !e.halted[i] {
@@ -189,16 +337,23 @@ func (e *engine) tick(now int64) {
 		}
 		inbox := e.inbox[i]
 		r := e.machines[i].Step(now, inbox)
-		// The machine consumed its inbox; reuse the backing array for
-		// future deliveries (machines must not retain the slice).
-		clear(inbox)
+		// The machine consumed its inbox: drop the delivery references
+		// (recycling records whose last recipient this was) and reuse the
+		// backing array for future deliveries. The stale entries beyond
+		// the truncated length are not cleared on the hot path — they can
+		// only reference pooled records, which the engine keeps alive
+		// anyway; reset clears everything between runs.
+		for _, d := range inbox {
+			e.release(d.MC)
+		}
 		e.inbox[i] = inbox[:0]
 		stepped++
 		if e.obs != nil {
-			e.obs.OnStep(i, now, &r)
-		}
-		if len(r.Performed) > 1 {
-			panic(fmt.Sprintf("sim: machine %d performed %d tasks in one step", i, len(r.Performed)))
+			// Copy before taking the address: handing &r itself to the
+			// hook would make every step's result escape to the heap,
+			// observer or not.
+			hooked := r
+			e.obs.OnStep(i, now, &hooked)
 		}
 
 		e.res.TotalSteps++
@@ -207,7 +362,7 @@ func (e *engine) tick(now int64) {
 			e.res.Work++
 		}
 
-		for _, z := range r.Performed {
+		if z := r.PerformedTask(); z != NoTask {
 			if z < 0 || z >= e.cfg.T {
 				panic(fmt.Sprintf("sim: machine %d performed out-of-range task %d", i, z))
 			}
@@ -236,7 +391,7 @@ func (e *engine) tick(now int64) {
 			if delay < 1 || delay > e.d {
 				panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, e.d))
 			}
-			mc := &Multicast{From: i, SentAt: now, Payload: snd.Payload}
+			mc := e.getMC(i, now, snd.Payload, 1)
 			e.wheel.push(wevent{mc: mc, to: int32(snd.To)}, now+delay)
 			e.inflight++
 			e.res.TotalMessages++
@@ -280,19 +435,32 @@ func (e *engine) tick(now int64) {
 			e.res.Solved = true
 			e.res.SolvedAt = now
 			if e.obs != nil {
-				e.obs.OnSolved(now, e.res)
+				e.obs.OnSolved(now, &e.res)
 			}
 		}
 	}
 }
 
 // broadcast schedules one multicast: one adversary call (when batched),
-// one Multicast record, and one wheel event when all recipients share a
-// delay — the p²-allocations hot path of the legacy engine reduced to
-// O(1) amortized.
-func (e *engine) broadcast(i int, now int64, payload any) {
+// one pooled Multicast record, and one wheel event when all recipients
+// share a delay — the p²-allocations hot path of the per-message engine
+// reduced to zero steady-state allocations.
+func (e *Engine) broadcast(i int, now int64, payload any) {
 	p := e.cfg.P
-	mc := &Multicast{From: i, SentAt: now, Payload: payload}
+	mc := e.getMC(i, now, payload, int32(p-1))
+	if e.uniform != nil {
+		// Recipient-independent delays: one delay query, one validation,
+		// one wheel event — no per-recipient work at all.
+		if dl, ok := e.uniform.DelayUniform(i, now); ok {
+			if dl < 1 || dl > e.d {
+				panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", dl, e.d))
+			}
+			mc.Recipients = e.allButSet(i)
+			e.wheel.push(wevent{mc: mc, to: -1}, now+dl)
+			e.finishMulticast(i, now, payload, p-1)
+			return
+		}
+	}
 	delays := e.delays
 	if e.batched != nil {
 		e.batched.DelayMulticast(i, now, delays)
@@ -329,8 +497,14 @@ func (e *engine) broadcast(i int, now int64, payload any) {
 			}
 		}
 	}
-	e.inflight += p - 1
-	n := int64(p - 1)
+	e.finishMulticast(i, now, payload, p-1)
+}
+
+// finishMulticast applies the message accounting and observer hook shared
+// by both broadcast scheduling paths.
+func (e *Engine) finishMulticast(i int, now int64, payload any, recipients int) {
+	e.inflight += recipients
+	n := int64(recipients)
 	e.res.TotalMessages += n
 	if !e.res.Solved {
 		e.res.Messages += n
@@ -339,6 +513,6 @@ func (e *engine) broadcast(i int, now int64, payload any) {
 		}
 	}
 	if e.obs != nil {
-		e.obs.OnMulticast(i, now, payload, p-1)
+		e.obs.OnMulticast(i, now, payload, recipients)
 	}
 }

@@ -6,10 +6,10 @@ import "fmt"
 // per-message engine: every broadcast is materialized as p-1 separately
 // queued Message values pushed through a delivery min-heap, and the
 // adversary's Delay is consulted once per recipient. It is kept verbatim
-// as the reference implementation for the multicast-native engine (Run):
-// both must produce identical Results for every algorithm × adversary
-// pair. New code should call Run; RunLegacy exists for equivalence tests
-// and benchmarks.
+// (modulo the shared step/schedule contracts) as the reference
+// implementation for the multicast-native engine (Run): both must produce
+// identical Results for every algorithm × adversary pair. New code should
+// call Run; RunLegacy exists for equivalence tests and benchmarks.
 func RunLegacy(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 	maxSteps, err := validateRun(cfg, machines, adv)
 	if err != nil {
@@ -20,7 +20,7 @@ func RunLegacy(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 		cfg:      cfg,
 		machines: machines,
 		adv:      adv,
-		inbox:    make([][]Message, cfg.P),
+		inbox:    make([][]Delivery, cfg.P),
 		pending:  newDelayQueue(),
 		crashed:  make([]bool, cfg.P),
 		halted:   make([]bool, cfg.P),
@@ -72,13 +72,14 @@ type legacyState struct {
 	cfg      Config
 	machines []Machine
 	adv      Adversary
-	inbox    [][]Message
+	inbox    [][]Delivery
 	pending  *delayQueue
 	crashed  []bool
 	halted   []bool
 	done     []bool
 	undone   int
 	res      *Result
+	dec      Decision
 	inited   bool
 }
 
@@ -98,10 +99,14 @@ func (s *legacyState) tick(now int64) {
 		s.inited = true
 	}
 
-	// 1. Deliver messages due now (or earlier, defensively).
+	// 1. Deliver messages due now (or earlier, defensively). Each queued
+	// Message is wrapped in its own single-recipient Multicast record —
+	// the per-message allocations are exactly what makes this engine the
+	// slow reference.
 	for _, m := range s.pending.popDue(now) {
 		if !s.crashed[m.To] && !s.halted[m.To] {
-			s.inbox[m.To] = append(s.inbox[m.To], m)
+			mc := &Multicast{From: m.From, SentAt: m.SentAt, Payload: m.Payload}
+			s.inbox[m.To] = append(s.inbox[m.To], Delivery{MC: mc, At: m.DeliverAt})
 		}
 	}
 
@@ -118,7 +123,9 @@ func (s *legacyState) tick(now int64) {
 		Halted:    s.halted,
 		InFlight:  s.pending.len(),
 	}
-	dec := s.adv.Schedule(v)
+	s.dec.reset()
+	dec := &s.dec
+	s.adv.Schedule(v, dec)
 	for _, i := range dec.Crash {
 		if i >= 0 && i < s.cfg.P {
 			s.crashed[i] = true
@@ -134,9 +141,6 @@ func (s *legacyState) tick(now int64) {
 		inbox := s.inbox[i]
 		s.inbox[i] = nil
 		r := s.machines[i].Step(now, inbox)
-		if len(r.Performed) > 1 {
-			panic(fmt.Sprintf("sim: machine %d performed %d tasks in one step", i, len(r.Performed)))
-		}
 
 		s.res.TotalSteps++
 		s.res.PerProcWork[i]++
@@ -144,7 +148,7 @@ func (s *legacyState) tick(now int64) {
 			s.res.Work++
 		}
 
-		for _, z := range r.Performed {
+		if z := r.PerformedTask(); z != NoTask {
 			if z < 0 || z >= s.cfg.T {
 				panic(fmt.Sprintf("sim: machine %d performed out-of-range task %d", i, z))
 			}

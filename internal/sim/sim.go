@@ -10,6 +10,19 @@
 // costs one work unit until the problem is solved (all tasks performed and
 // at least one processor informed), and a broadcast to m recipients costs m
 // point-to-point messages.
+//
+// # Allocation discipline
+//
+// The per-step contracts are designed so the engine allocates nothing in
+// steady state: a step reports at most one performed task as a plain int
+// (StepResult), the adversary writes its schedule into an engine-owned
+// Decision whose slices are reused across ticks, and a broadcast is one
+// pooled Multicast record shared by every recipient — inboxes hold
+// lightweight Delivery references into it, never per-recipient copies.
+// Machines that implement PayloadRecycler get their payload buffers back
+// once every recipient has consumed them, closing the last allocation
+// loop. The allocation gates in the repo root assert zero steady-state
+// allocations per simulated step and per multicast.
 package sim
 
 import (
@@ -18,7 +31,11 @@ import (
 	"doall/internal/bitset"
 )
 
-// Message is a point-to-point message in flight or delivered.
+// Message is a fully materialized point-to-point message. The hot path
+// never builds one — inboxes hold Delivery references into shared
+// Multicast records — but observers (Observer.OnDeliver), the legacy
+// reference engine's delay queue, and the goroutine runtime's channels
+// still speak in whole messages.
 type Message struct {
 	// From and To are processor ids.
 	From, To int
@@ -33,12 +50,71 @@ type Message struct {
 	Payload any
 }
 
-// StepResult is what a processor's single local step produced.
+// Multicast is one broadcast stored once, regardless of recipient count.
+// Recipients receive Delivery references into the record, so a broadcast
+// costs O(1) stored state instead of p-1 message copies. The engine pools
+// Multicast records: once every recipient has consumed (or missed) its
+// delivery the record is recycled, so steady-state broadcasts allocate
+// nothing.
+type Multicast struct {
+	// From is the sender's processor id.
+	From int
+	// SentAt is the global time of the send step.
+	SentAt int64
+	// Payload is the shared, immutable content.
+	Payload any
+	// Recipients is the recipient set for uniform-delay multicasts (every
+	// recipient shares one delivery time, so one timing-wheel event covers
+	// the whole set). It is nil when the adversary assigned non-uniform
+	// delays and the multicast was scheduled per recipient, and for
+	// point-to-point sends.
+	Recipients *bitset.Set
+	// outstanding counts deliveries not yet consumed or dropped; when it
+	// reaches zero the engine recycles the record (and hands the payload
+	// back to the sender if it implements PayloadRecycler). Only the
+	// multicast engine maintains it.
+	outstanding int32
+}
+
+// Delivery is one delivered message in a processor's inbox: a reference
+// into the multicast record shared by all recipients, plus the delivery
+// time. Copying a Delivery copies two words, not the five fields of a
+// Message, which is what keeps the delivery fan-out of a broadcast cheap.
+type Delivery struct {
+	// MC is the shared multicast record. Receivers must treat it (and the
+	// payload inside) as immutable.
+	MC *Multicast
+	// At is the global time the message entered the inbox.
+	At int64
+}
+
+// From returns the sender's processor id.
+func (d Delivery) From() int { return d.MC.From }
+
+// SentAt returns the global time of the send step.
+func (d Delivery) SentAt() int64 { return d.MC.SentAt }
+
+// DeliverAt returns the global time the message entered the inbox.
+func (d Delivery) DeliverAt() int64 { return d.At }
+
+// Payload returns the shared, immutable payload.
+func (d Delivery) Payload() any { return d.MC.Payload }
+
+// NoTask is returned by StepResult.PerformedTask when the step performed
+// no task.
+const NoTask = -1
+
+// StepResult is what a processor's single local step produced. Its zero
+// value means "no task performed, nothing sent, keep running"; report a
+// performed task with Perform. In the paper's unit-cost model a step
+// performs at most one task, which the representation enforces by
+// construction (there is no room for a second task — the old slice-typed
+// field required a per-step allocation and a runtime check instead).
 type StepResult struct {
-	// Performed lists ids of tasks executed during this step. In the
-	// paper's unit-cost model a step performs at most one task; machines
-	// must respect that (the simulator enforces it).
-	Performed []int
+	// performed holds 1 + the id of the task performed this step, zero
+	// when none. It is encapsulated so the zero value safely means "no
+	// task"; use Perform and PerformedTask.
+	performed int
 	// Broadcast, when non-nil, is a payload multicast to every other
 	// processor (p-1 point-to-point messages).
 	Broadcast any
@@ -53,6 +129,17 @@ type StepResult struct {
 	// halts (the lower-bound experiments rely on observing them).
 	Halt bool
 }
+
+// Perform records task z as performed by this step (at most one per step).
+func (r *StepResult) Perform(z int) { r.performed = z + 1 }
+
+// PerformedTask returns the id of the task performed this step, or NoTask
+// (-1) when the step performed none.
+func (r *StepResult) PerformedTask() int { return r.performed - 1 }
+
+// PerformStep returns a StepResult performing task z — the common
+// "perform one task, nothing else" step as a single expression.
+func PerformStep(z int) StepResult { return StepResult{performed: z + 1} }
 
 // Send is a directed point-to-point message produced by a step.
 type Send struct {
@@ -70,24 +157,6 @@ type Payload interface {
 	WireSize() int
 }
 
-// Multicast is one broadcast stored once, regardless of recipient count.
-// The engine materializes per-recipient Message values only at delivery
-// time, into reused inbox slices, so a broadcast costs O(1) allocations
-// instead of the p-1 of the legacy engine.
-type Multicast struct {
-	// From is the sender's processor id.
-	From int
-	// SentAt is the global time of the send step.
-	SentAt int64
-	// Payload is the shared, immutable content.
-	Payload any
-	// Recipients is the recipient set for uniform-delay multicasts (every
-	// recipient shares one delivery time, so one timing-wheel event covers
-	// the whole set). It is nil when the adversary assigned non-uniform
-	// delays and the multicast was scheduled per recipient.
-	Recipients *bitset.Set
-}
-
 // Machine is the step-machine interface every Do-All algorithm implements.
 // One Machine instance is one processor's local state.
 type Machine interface {
@@ -96,10 +165,12 @@ type Machine interface {
 	// broadcast. It is called only for live, non-halted processors.
 	//
 	// The inbox slice is owned by the engine and reused after Step
-	// returns: machines must consume the messages during the call and
-	// must not retain the slice (or pointers into it). Copy any Message
-	// that needs to outlive the step.
-	Step(now int64, inbox []Message) StepResult
+	// returns: machines must consume the deliveries during the call and
+	// must not retain the slice, the Delivery values, or the Multicast
+	// records they reference (the engine recycles the records once all
+	// recipients have consumed them). Copy any payload data that needs to
+	// outlive the step.
+	Step(now int64, inbox []Delivery) StepResult
 	// KnowsAllDone reports whether this processor's local knowledge
 	// implies every task has been performed.
 	KnowsAllDone() bool
@@ -120,6 +191,27 @@ type Cloner interface {
 	CloneMachine() Machine
 }
 
+// Resetter is an optional Machine extension restoring a machine to its
+// initial, pre-execution state without reallocating, so trial loops and
+// the allocation gates can reuse one machine set. Deterministic machines
+// replay the exact same execution after Reset; machines drawing from a
+// live random stream (PaRan2) start a fresh trial instead of a replay.
+type Resetter interface {
+	Reset()
+}
+
+// PayloadRecycler is an optional Machine extension closing the payload
+// allocation loop: when every recipient of a multicast has consumed (or,
+// being crashed or halted, missed) its delivery, the engine hands the
+// payload back to the sending machine, which may reuse the buffer for a
+// later broadcast. Machines that pool payload buffers this way broadcast
+// allocation-free in steady state. The engine guarantees no live
+// reference to the payload remains when RecyclePayload is called; the
+// legacy reference engine and the goroutine runtime never recycle.
+type PayloadRecycler interface {
+	RecyclePayload(payload any)
+}
+
 // View is the adversary's omniscient picture of the system at the start of
 // a time unit.
 type View struct {
@@ -134,18 +226,22 @@ type View struct {
 	// Machines exposes processor state for intent probing and cloning.
 	// Adversaries must not call Step on these.
 	Machines []Machine
-	// Inboxes[i] holds the messages delivered to processor i but not yet
+	// Inboxes[i] holds the deliveries made to processor i but not yet
 	// consumed by a step. Adversaries must treat them as read-only; the
 	// off-line lower-bound adversary copies them into machine clones when
 	// looking a stage ahead.
-	Inboxes [][]Message
+	Inboxes [][]Delivery
 	// Crashed[i] and Halted[i] report processor i's status.
 	Crashed, Halted []bool
 	// InFlight is the number of undelivered messages.
 	InFlight int
 }
 
-// Decision is the adversary's scheduling choice for one time unit.
+// Decision is the adversary's scheduling choice for one time unit. The
+// engine owns one Decision and passes it to Adversary.Schedule every
+// unit with Active and Crash emptied (capacity retained) and NextWake
+// zeroed; adversaries append into the slices instead of allocating fresh
+// ones, so scheduling is allocation-free in steady state.
 type Decision struct {
 	// Active lists processors that take a local step this unit. Crashed
 	// and halted processors in the list are ignored.
@@ -168,14 +264,28 @@ type Decision struct {
 	NextWake int64
 }
 
+// reset empties the decision for the next Schedule call, retaining slice
+// capacity.
+func (d *Decision) reset() {
+	d.Active = d.Active[:0]
+	d.Crash = d.Crash[:0]
+	d.NextWake = 0
+}
+
 // Adversary controls asynchrony: per-unit scheduling, crashes, and message
 // delays. Implementations must respect the d-adversary contract: Delay
 // must return a value in [1, D()].
 type Adversary interface {
 	// D returns the message-delay bound d ≥ 1 this adversary honors.
 	D() int64
-	// Schedule is called once per global time unit.
-	Schedule(v *View) Decision
+	// Schedule is called once per global time unit. It writes this unit's
+	// decision into dec, which arrives emptied (see Decision): append the
+	// active and crashing processors to dec.Active and dec.Crash and set
+	// dec.NextWake if promising idleness. The engine owns dec and its
+	// slices; adversaries must not retain them across calls. Combinators
+	// forward the same dec to their inner adversary and then edit it in
+	// place.
+	Schedule(v *View, dec *Decision)
 	// Delay returns the delivery delay (in global time units, ≥ 1 and
 	// ≤ D()) for a message from processor `from` to `to` sent at `sentAt`.
 	Delay(from, to int, sentAt int64) int64
@@ -193,6 +303,21 @@ type Adversary interface {
 // recipient.
 type MulticastDelayer interface {
 	DelayMulticast(from int, sentAt int64, out []int64)
+}
+
+// UniformDelayer is an optional Adversary extension for adversaries whose
+// multicast delays never depend on the recipient: DelayUniform returns
+// the delay shared by every recipient of a multicast from `from` at
+// `sentAt`, with ok = true. The engine then schedules the whole broadcast
+// as one wheel event without materializing (or validating) p-1
+// per-recipient delays — the last O(p) term on the broadcast hot path.
+// Implementations must satisfy DelayUniform(from, t) == (Delay(from, j,
+// t), true) for every j (asserted by the adversary contract tests).
+// Combinators whose uniformity depends on the wrapped adversary return
+// ok = false when the inner adversary's delays are recipient-dependent,
+// and the engine falls back to the per-recipient path.
+type UniformDelayer interface {
+	DelayUniform(from int, sentAt int64) (delay int64, ok bool)
 }
 
 // Result aggregates the complexity measures of one execution.
@@ -233,6 +358,28 @@ type Result struct {
 	HaltedEarly bool
 }
 
+// reset clears the result for a fresh run, reusing the per-processor and
+// per-task slices when the shape matches.
+func (r *Result) reset(p, t int) {
+	per, first := r.PerProcWork, r.FirstDoneAt
+	*r = Result{SolvedAt: -1}
+	if cap(per) >= p {
+		per = per[:p]
+		clear(per)
+	} else {
+		per = make([]int64, p)
+	}
+	if cap(first) >= t {
+		first = first[:t]
+	} else {
+		first = make([]int64, t)
+	}
+	for z := range first {
+		first[z] = -1
+	}
+	r.PerProcWork, r.FirstDoneAt = per, first
+}
+
 // Config configures a simulation run.
 type Config struct {
 	// P is the number of processors; machines must have length P.
@@ -255,3 +402,40 @@ type Config struct {
 // ErrStepCap is returned when the simulation hits MaxSteps before the
 // problem is solved.
 var ErrStepCap = errors.New("sim: step cap exceeded before Do-All was solved")
+
+// ResetMachines restores every machine to its initial state via the
+// Resetter extension, reporting whether all of them supported it. It is
+// the machine half of an allocation-free re-trial (Engine.Run being the
+// engine half); on a false return some machines were not reset and the
+// set must be rebuilt instead.
+func ResetMachines(machines []Machine) bool {
+	ok := true
+	for _, m := range machines {
+		if r, can := m.(Resetter); can {
+			r.Reset()
+		} else {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// CloneMachines deep-copies a machine set via the Cloner extension,
+// reporting whether every machine supported it (on false the returned
+// slice is nil). Benchmarks and look-ahead harnesses use it to stamp out
+// fresh trials from one pristine, possibly expensive-to-build set.
+func CloneMachines(machines []Machine) ([]Machine, bool) {
+	out := make([]Machine, len(machines))
+	for i, m := range machines {
+		c, can := m.(Cloner)
+		if !can {
+			return nil, false
+		}
+		cm := c.CloneMachine()
+		if cm == nil {
+			return nil, false
+		}
+		out[i] = cm
+	}
+	return out, true
+}

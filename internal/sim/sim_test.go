@@ -23,9 +23,9 @@ func newSeqMachineAt(t, off int) *seqMachine {
 	return &seqMachine{t: t, off: off % t, done: make([]bool, t), left: t}
 }
 
-func (m *seqMachine) Step(now int64, inbox []Message) StepResult {
+func (m *seqMachine) Step(now int64, inbox []Delivery) StepResult {
 	for _, msg := range inbox {
-		if z, ok := msg.Payload.(int); ok && !m.done[z] {
+		if z, ok := msg.Payload().(int); ok && !m.done[z] {
 			m.done[z] = true
 			m.left--
 		}
@@ -43,7 +43,9 @@ func (m *seqMachine) Step(now int64, inbox []Message) StepResult {
 	m.done[z] = true
 	m.left--
 	m.next++
-	return StepResult{Performed: []int{z}, Broadcast: z, Halt: m.left == 0}
+	r := StepResult{Broadcast: z, Halt: m.left == 0}
+	r.Perform(z)
+	return r
 }
 
 func (m *seqMachine) KnowsAllDone() bool { return m.left == 0 }
@@ -51,18 +53,13 @@ func (m *seqMachine) KnowsAllDone() bool { return m.left == 0 }
 // fixedAdv: everyone steps each unit, delay exactly fix.
 type fixedAdv struct {
 	d, fix int64
-	all    []int
 }
 
 func (a *fixedAdv) D() int64 { return a.d }
-func (a *fixedAdv) Schedule(v *View) Decision {
-	if len(a.all) != v.P {
-		a.all = make([]int, v.P)
-		for i := range a.all {
-			a.all[i] = i
-		}
+func (a *fixedAdv) Schedule(v *View, dec *Decision) {
+	for i := 0; i < v.P; i++ {
+		dec.Active = append(dec.Active, i)
 	}
-	return Decision{Active: a.all}
 }
 func (a *fixedAdv) Delay(from, to int, sentAt int64) int64 { return a.fix }
 
@@ -177,8 +174,8 @@ func TestStepCapReturnsError(t *testing.T) {
 
 type idleMachine struct{}
 
-func (m *idleMachine) Step(now int64, inbox []Message) StepResult { return StepResult{} }
-func (m *idleMachine) KnowsAllDone() bool                         { return false }
+func (m *idleMachine) Step(now int64, inbox []Delivery) StepResult { return StepResult{} }
+func (m *idleMachine) KnowsAllDone() bool                          { return false }
 
 func TestCrashedProcessorsTakeNoSteps(t *testing.T) {
 	ms := []Machine{newSeqMachine(4), newSeqMachine(4)}
@@ -201,12 +198,11 @@ type crashAdv struct {
 	victim  int
 }
 
-func (a *crashAdv) Schedule(v *View) Decision {
-	dec := a.fixedAdv.Schedule(v)
+func (a *crashAdv) Schedule(v *View, dec *Decision) {
+	a.fixedAdv.Schedule(v, dec)
 	if v.Now == a.crashAt {
-		dec.Crash = []int{a.victim}
+		dec.Crash = append(dec.Crash, a.victim)
 	}
-	return dec
 }
 
 func TestHaltedEarlyDetection(t *testing.T) {
@@ -225,8 +221,8 @@ func TestHaltedEarlyDetection(t *testing.T) {
 
 type quitMachine struct{}
 
-func (m *quitMachine) Step(now int64, inbox []Message) StepResult { return StepResult{Halt: true} }
-func (m *quitMachine) KnowsAllDone() bool                         { return false }
+func (m *quitMachine) Step(now int64, inbox []Delivery) StepResult { return StepResult{Halt: true} }
+func (m *quitMachine) KnowsAllDone() bool                          { return false }
 
 func TestDeterminism(t *testing.T) {
 	run := func() *Result {

@@ -38,15 +38,42 @@ type wheel struct {
 // allocate unbounded memory; longer delays take the overflow path.
 const maxWheelHorizon = 1 << 15
 
-// newWheel returns a wheel able to hold delays up to bound without
-// overflow (bucket count is the next power of two ≥ min(bound+1,
-// maxWheelHorizon)).
-func newWheel(bound int64) *wheel {
+// wheelBuckets returns the bucket count newWheel picks for a delay
+// bound: the next power of two ≥ min(bound+1, maxWheelHorizon). The
+// reusable engine compares it against an existing wheel's size to decide
+// between resetting and reallocating.
+func wheelBuckets(bound int64) int {
 	n := int64(2)
 	for n < bound+1 && n < maxWheelHorizon {
 		n <<= 1
 	}
-	return &wheel{buckets: make([][]wevent, n), mask: n - 1}
+	return int(n)
+}
+
+// newWheel returns a wheel able to hold delays up to bound without
+// overflow.
+func newWheel(bound int64) *wheel {
+	n := wheelBuckets(bound)
+	return &wheel{buckets: make([][]wevent, n), mask: int64(n) - 1}
+}
+
+// reset empties the wheel for a fresh run, retaining bucket capacity. A
+// finished run may leave events behind (runs stop at solved or when all
+// processors halt, not when the network drains), so buckets and overflow
+// are cleared of their multicast references explicitly.
+func (w *wheel) reset() {
+	if w.events > 0 {
+		for i := range w.buckets {
+			clear(w.buckets[i])
+			w.buckets[i] = w.buckets[i][:0]
+		}
+		clear(w.overflow)
+		w.overflow = w.overflow[:0]
+		w.overdue = w.overdue[:0]
+	}
+	w.cur = 0
+	w.overMin = 0
+	w.events = 0
 }
 
 // push schedules ev for delivery at time at. at must be > w.cur.

@@ -216,6 +216,21 @@ func (t *Tree) Snapshot() []bool { return t.done.ToBools() }
 // suitable for putting in a message.
 func (t *Tree) SnapshotSet() *bitset.Set { return t.done.Clone() }
 
+// SnapshotInto copies the node bits into dst (length must be Size()),
+// the allocation-free form of SnapshotSet for pooled payload buffers.
+func (t *Tree) SnapshotInto(dst *bitset.Set) { dst.CopyFrom(t.done) }
+
+// ResetPadded restores the tree to its initial NewForTasks(q, tasks)
+// state: every node cleared, then the padding leaves ≥ tasks re-marked
+// (with upward propagation). It allocates nothing, so trial loops can
+// reuse one tree.
+func (t *Tree) ResetPadded(tasks int) {
+	t.done.ClearAll()
+	for i := tasks; i < t.leaves; i++ {
+		t.MarkLeaf(i)
+	}
+}
+
 // Clone returns a deep copy of the tree.
 func (t *Tree) Clone() *Tree {
 	c := *t

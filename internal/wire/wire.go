@@ -151,7 +151,35 @@ func Decode(msg []byte) (Kind, *bitset.Set, error) {
 }
 
 // Size returns the encoded size in bytes of a payload without allocating
-// the full message (used by the simulator's byte accounting).
+// anything (used by the simulator's byte accounting, which queries it
+// once per multicast on the hot path). It computes len(Encode(kind, s))
+// arithmetically: header bytes plus the smaller of the raw and RLE body
+// sizes; the equality is asserted by tests.
 func Size(kind Kind, s *bitset.Set) int {
-	return len(Encode(kind, s))
+	words := s.Words()
+	raw := 8 * len(words)
+	rle := 0
+	for i := 0; i < len(words); {
+		j := i
+		for j < len(words) && words[j] == words[i] {
+			j++
+		}
+		rle += uvarintLen(uint64(j-i)) + 8
+		i = j
+	}
+	body := raw
+	if rle < raw {
+		body = rle
+	}
+	return 3 + uvarintLen(uint64(s.Len())) + body
+}
+
+// uvarintLen returns the number of bytes binary.AppendUvarint emits for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }

@@ -137,3 +137,39 @@ func TestQuickDecodeRobustness(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSizeMatchesEncodedLength pins the arithmetic Size shortcut to the
+// real encoder across bit patterns that exercise both body encodings and
+// multi-byte varint headers.
+func TestSizeMatchesEncodedLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sizes := []int{1, 7, 63, 64, 65, 200, 1024, 70000}
+	for _, n := range sizes {
+		for _, density := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			s := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if rng.Float64() < density {
+					s.Set(i)
+				}
+			}
+			for _, kind := range []Kind{KindTree, KindDoneSet} {
+				if got, want := Size(kind, s), len(Encode(kind, s)); got != want {
+					t.Fatalf("Size(kind=%d, n=%d, density=%v) = %d, want len(Encode) = %d",
+						kind, n, density, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSizeAllocationFree guards the hot-path property that made the
+// shortcut worthwhile: the engine queries WireSize once per multicast.
+func TestSizeAllocationFree(t *testing.T) {
+	s := bitset.New(4096)
+	for i := 0; i < 4096; i += 3 {
+		s.Set(i)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { Size(KindTree, s) }); allocs != 0 {
+		t.Fatalf("Size allocates %v times per call, want 0", allocs)
+	}
+}
