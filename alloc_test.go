@@ -118,3 +118,55 @@ func TestResetReplaysExactly(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroSteadyStateAllocsPA1024 extends the PA gate to p=1024 under
+// the grouped delivery path and the versioned-snapshot payload
+// lifecycle: batches, combined knowledge caches, snapshot delta chains,
+// epoch bases, and the batch ring must all come from warmed pools, so a
+// whole re-run still allocates exactly nothing.
+func TestZeroSteadyStateAllocsPA1024(t *testing.T) {
+	const p, tasks = 1024, 4096
+	ms := doall.NewPaRan1(p, tasks, 42)
+	assertZeroSteadyStateAllocs(t, "PaRan1-1024/fair", ms, adversary.NewFair(4), p, tasks)
+}
+
+// TestZeroSteadyStateAllocsDA1024 is the DA gate at p=1024: tree
+// snapshot chains and closure propagation must also be allocation-free
+// in steady state.
+func TestZeroSteadyStateAllocsDA1024(t *testing.T) {
+	const p, tasks = 1024, 4096
+	ms, err := harness.BuildMachines(harness.Spec{Algo: harness.AlgoDA, P: p, T: tasks, D: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertZeroSteadyStateAllocs(t, "DA-1024/fair", ms, adversary.NewFair(4), p, tasks)
+}
+
+// TestLargeShapeSmokePaRan1 is the large-shape smoke cell CI runs as a
+// dedicated -short job: one PaRan1 p=2048/t=65536 sweep cell through the
+// public Scenario path, solved and plausible. Full (non-short) runs add
+// a second execution to pin determinism at scale; the short job skips it
+// so the smoke stays a single cell (and the -race job pays for one run,
+// not two).
+func TestLargeShapeSmokePaRan1(t *testing.T) {
+	sc := doall.Scenario{Algorithm: "PaRan1", P: 2048, T: 65536, D: 8, Seed: 7}
+	res, err := doall.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved() || res.Work() <= 65536 {
+		t.Fatalf("large-shape cell implausible: solved=%v work=%d", res.Solved(), res.Work())
+	}
+	if testing.Short() {
+		return
+	}
+	// Determinism at scale: a second run reproduces exactly.
+	again, err := doall.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Work() != res.Work() || again.Messages() != res.Messages() {
+		t.Fatalf("large shape not deterministic: work %d→%d messages %d→%d",
+			res.Work(), again.Work(), res.Messages(), again.Messages())
+	}
+}

@@ -345,3 +345,38 @@ func BenchmarkContentionSearch(b *testing.B) {
 		perm.FindLowContentionList(5, 5, 20, r)
 	}
 }
+
+// BenchmarkEngineSteadyStatePA1024 is the large-shape sibling of the
+// PA256 steady-state benchmark: PaRan1 at p=1024, t=65536 under the fair
+// adversary on one warmed reusable engine — the grouped delivery path
+// and the versioned knowledge plane end to end, still at 0 allocs/op.
+func BenchmarkEngineSteadyStatePA1024(b *testing.B) {
+	const p, t, d = 1024, 65536, 8
+	ms := doall.NewPaRan1(p, t, 42)
+	adv := adversary.NewFair(d)
+	eng := sim.NewEngine()
+	// Pool and slice capacities converge over the first few runs at this
+	// shape (buffer-to-use pairings shift until every pooled buffer has
+	// its maximal capacity); warm until steady so the timed loop measures
+	// the true 0 allocs/op state.
+	for w := 0; w < 4; w++ {
+		sim.ResetMachines(ms)
+		if _, err := eng.Run(sim.Config{P: p, T: t}, ms, adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var work int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sim.ResetMachines(ms) {
+			b.Fatal("PaRan1 machines must be resettable")
+		}
+		res, err := eng.Run(sim.Config{P: p, T: t}, ms, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		work = res.Work
+	}
+	b.ReportMetric(float64(work), "work")
+}

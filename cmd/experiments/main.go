@@ -63,6 +63,8 @@ type sweepFlags struct {
 	trials  int
 	workers int
 	seed    int64
+	theory  bool
+	maxmem  string
 }
 
 // config assembles and validates the declarative sweep grid.
@@ -72,6 +74,7 @@ func (f sweepFlags) config() (doall.SweepConfig, error) {
 		BaseSeed:  f.seed,
 		Trials:    f.trials,
 		Workers:   f.workers,
+		Theory:    f.theory,
 	}
 	cfg.Algos = splitList(f.algos, ",")
 	if f.advs != "" {
@@ -119,7 +122,58 @@ func (f sweepFlags) config() (doall.SweepConfig, error) {
 			}
 		}
 	}
+	// Pre-estimate per-worker memory for the largest grid shape and fail
+	// fast with a clear error instead of OOMing mid-sweep.
+	if f.maxmem != "" {
+		budget, err := parseBytes(f.maxmem)
+		if err != nil {
+			return cfg, fmt.Errorf("-maxmem: %w", err)
+		}
+		if est := doall.EstimateSweepMemory(cfg); est > budget {
+			return cfg, fmt.Errorf(
+				"estimated sweep memory %s (largest shape p=%d t=%d × concurrent workers) exceeds -maxmem %s; shrink the grid, lower -workers, or raise the budget",
+				formatBytes(est), maxInt(cfg.Ps), maxInt(cfg.Ts), formatBytes(budget))
+		}
+	}
 	return cfg, nil
+}
+
+// parseBytes parses a byte budget: a plain integer, or with a k/m/g/t
+// suffix (binary units, case-insensitive, optional trailing 'b'/'ib').
+func parseBytes(s string) (int64, error) {
+	orig := s
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.TrimSuffix(s, "ib")
+	s = strings.TrimSuffix(s, "b")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "t"):
+		mult, s = 1<<40, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad byte budget %q (want e.g. 4g, 512m, 1073741824)", orig)
+	}
+	return v * mult, nil
+}
+
+// formatBytes renders a byte count with a binary-unit suffix.
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 func maxInt(vals []int) int {
@@ -177,6 +231,8 @@ func runWithStderr(args []string, w, errw io.Writer) error {
 	fs.IntVar(&f.trials, "trials", 1, "sweep: runs per cell (averaged)")
 	fs.IntVar(&f.workers, "workers", 0, "sweep: worker goroutines (0 = GOMAXPROCS)")
 	fs.Int64Var(&f.seed, "seed", 0, "sweep: base seed for per-cell seed derivation")
+	fs.BoolVar(&f.theory, "theory", false, "sweep: add LowerBound/DAUpperBound/PAUpperBound theory columns per cell")
+	fs.StringVar(&f.maxmem, "maxmem", "", "sweep: fail fast if the estimated per-sweep memory exceeds this budget (e.g. 4g, 512m)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

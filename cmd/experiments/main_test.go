@@ -221,3 +221,70 @@ func TestProgressFlag(t *testing.T) {
 		t.Errorf("progress meter does not end with a newline: %q", got)
 	}
 }
+
+func TestTheoryFlagEmitsBoundsColumns(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "-theory", "-algos", "PaRan1", "-p", "4", "-t", "16", "-d", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep doall.SweepReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Theory || len(rep.Cells) != 1 {
+		t.Fatalf("report theory=%v cells=%d", rep.Theory, len(rep.Cells))
+	}
+	c := rep.Cells[0]
+	if c.LowerBound <= 0 || c.DAUpperBound <= 0 || c.PAUpperBound <= 0 || c.WorkOverLB <= 0 {
+		t.Fatalf("theory columns missing: %+v", c)
+	}
+	want, _, _ := doall.TheoryBounds(4, 16, 2, 0.5)
+	if c.LowerBound != want {
+		t.Fatalf("lower bound %v, want %v", c.LowerBound, want)
+	}
+}
+
+func TestTheoryOffOmitsBoundsColumns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "-algos", "PaRan1", "-p", "4", "-t", "16", "-d", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "lower_bound") {
+		t.Fatalf("theory columns emitted without -theory:\n%s", out.String())
+	}
+}
+
+func TestMaxMemFailsFastOnLargeGrid(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "-algos", "PaRan1", "-p", "4096", "-t", "262144", "-d", "8", "-maxmem", "1m"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-maxmem") {
+		t.Fatalf("undersized budget not rejected: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("sweep ran despite failing the memory budget")
+	}
+	// A generous budget lets the same flags pass validation (tiny grid
+	// so the test stays fast).
+	if err := run([]string{"-sweep", "-algos", "PaRan1", "-p", "4", "-t", "16", "-d", "2", "-maxmem", "2g"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"1024": 1024, "4k": 4 << 10, "512M": 512 << 20, "8g": 8 << 30,
+		"1gib": 1 << 30, "2GB": 2 << 30, "1t": 1 << 40,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Fatalf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-5", "0", "4q"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Fatalf("parseBytes(%q) accepted", bad)
+		}
+	}
+}

@@ -60,6 +60,10 @@ func (a *Fair) DelayMulticast(from int, sentAt int64, out []int64) {
 	}
 }
 
+// InboxAgnostic implements sim.InboxAgnostic: Fair never reads
+// View.Inboxes, so the engine may run its grouped delivery path.
+func (a *Fair) InboxAgnostic() bool { return true }
+
 // DelayUniform implements sim.UniformDelayer: the fixed delay never
 // depends on the recipient.
 func (a *Fair) DelayUniform(from int, sentAt int64) (int64, bool) {
@@ -93,6 +97,10 @@ func (a *Random) D() int64 { return a.Bound }
 
 // Schedule implements sim.Adversary. To keep executions live it activates
 // at least one non-crashed, non-halted processor each unit.
+// InboxAgnostic implements sim.InboxAgnostic: Random's scheduling and
+// delays never read View.Inboxes.
+func (a *Random) InboxAgnostic() bool { return true }
+
 func (a *Random) Schedule(v *sim.View, dec *sim.Decision) {
 	for i := 0; i < v.P; i++ {
 		if v.Crashed[i] || v.Halted[i] {
@@ -148,6 +156,13 @@ var (
 	_ sim.Adversary        = (*Crashing)(nil)
 	_ sim.MulticastDelayer = (*Crashing)(nil)
 )
+
+// InboxAgnostic implements sim.InboxAgnostic, forwarding the question to
+// the wrapped adversary (crash injection itself never reads Inboxes).
+func (a *Crashing) InboxAgnostic() bool {
+	ia, ok := a.Inner.(sim.InboxAgnostic)
+	return ok && ia.InboxAgnostic()
+}
 
 // DelayUniform implements sim.UniformDelayer, uniform exactly when the
 // inner adversary is.
@@ -245,6 +260,10 @@ func (a *SlowSet) D() int64 { return a.Bound }
 // Schedule implements sim.Adversary. When every processor is in the slow
 // set and off-period (nothing can step), the decision carries a NextWake
 // promise so the engine fast-forwards to the next period boundary.
+// InboxAgnostic implements sim.InboxAgnostic: SlowSet never reads
+// View.Inboxes.
+func (a *SlowSet) InboxAgnostic() bool { return true }
+
 func (a *SlowSet) Schedule(v *sim.View, dec *sim.Decision) {
 	for i := 0; i < v.P; i++ {
 		if a.Slow[i] && v.Now%a.Period != 0 {
@@ -297,6 +316,13 @@ var (
 	_ sim.MulticastDelayer = (*SlowSetOver)(nil)
 	_ sim.UniformDelayer   = (*SlowSetOver)(nil)
 )
+
+// InboxAgnostic implements sim.InboxAgnostic, forwarding the question to
+// the wrapped adversary.
+func (a *SlowSetOver) InboxAgnostic() bool {
+	ia, ok := a.Inner.(sim.InboxAgnostic)
+	return ok && ia.InboxAgnostic()
+}
 
 // DelayUniform implements sim.UniformDelayer, uniform exactly when the
 // inner adversary is.

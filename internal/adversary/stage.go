@@ -145,13 +145,13 @@ func (a *StageDeterministic) planStage(v *sim.View) {
 	// Turn benign once the construction can no longer sustain itself:
 	// either the stage budget is exhausted or u < 3L (the pigeonhole set
 	// J_s would be empty).
-	if a.curStage >= a.maxStages || int64(v.Undone) < 3*a.clock.L {
+	if a.curStage >= a.maxStages || int64(v.Undone()) < 3*a.clock.L {
 		return
 	}
 	a.Stages++
 
 	// Look ahead: J_s(i) = tasks processor i would perform this stage.
-	cover := make(map[int]int, v.Undone) // undone task -> #procs touching it
+	cover := make(map[int]int, v.Undone()) // undone task -> #procs touching it
 	sets := make([]map[int]bool, v.P)
 	for i := 0; i < v.P; i++ {
 		if v.Crashed[i] || v.Halted[i] {
@@ -172,7 +172,7 @@ func (a *StageDeterministic) planStage(v *sim.View) {
 		for k := int64(0); k < a.clock.L; k++ {
 			r := m.Step(v.Now+k, inbox)
 			inbox = nil
-			if z := r.PerformedTask(); z >= 0 && !v.DoneTasks[z] {
+			if z := r.PerformedTask(); z >= 0 && !v.Tasks.Done(z) {
 				set[z] = true
 				cover[z]++
 			}
@@ -185,11 +185,9 @@ func (a *StageDeterministic) planStage(v *sim.View) {
 
 	// Pigeonhole: pick the ⌈u/(3L)⌉ undone tasks with the lowest coverage.
 	type tc struct{ z, c int }
-	cand := make([]tc, 0, v.Undone)
-	for z := 0; z < v.T; z++ {
-		if !v.DoneTasks[z] {
-			cand = append(cand, tc{z, cover[z]})
-		}
+	cand := make([]tc, 0, v.Undone())
+	for z := v.Tasks.NextUndone(0); z >= 0; z = v.Tasks.NextUndone(z + 1) {
+		cand = append(cand, tc{z, cover[z]})
 	}
 	sort.Slice(cand, func(x, y int) bool {
 		if cand[x].c != cand[y].c {
@@ -197,7 +195,7 @@ func (a *StageDeterministic) planStage(v *sim.View) {
 		}
 		return cand[x].z < cand[y].z
 	})
-	k := int(int64(v.Undone) / (3 * a.clock.L))
+	k := int(int64(v.Undone()) / (3 * a.clock.L))
 	if k < 1 {
 		k = 1
 	}
@@ -263,6 +261,11 @@ func NewStageOnline(d int64, t int) *StageOnline {
 // D implements sim.Adversary.
 func (a *StageOnline) D() int64 { return a.Bound }
 
+// InboxAgnostic implements sim.InboxAgnostic: the adaptive adversary
+// probes machine intents (TaskIntender) and the task ledger, never
+// View.Inboxes, so the engine may run its grouped delivery path.
+func (a *StageOnline) InboxAgnostic() bool { return true }
+
 // Delay implements sim.Adversary.
 func (a *StageOnline) Delay(from, to int, sentAt int64) int64 {
 	return a.clock.delayToStageEnd(sentAt)
@@ -318,7 +321,7 @@ func (a *StageOnline) planStage(v *sim.View) {
 		a.delayed[i] = false
 	}
 	a.protected = nil
-	if a.curStage >= a.maxStages || int64(v.Undone) < a.clock.L+1 {
+	if a.curStage >= a.maxStages || int64(v.Undone()) < a.clock.L+1 {
 		return
 	}
 	a.Stages++
@@ -332,17 +335,15 @@ func (a *StageOnline) planStage(v *sim.View) {
 			continue
 		}
 		if ti, ok := v.Machines[i].(sim.TaskIntender); ok {
-			if z := ti.NextTask(); z >= 0 && !v.DoneTasks[z] {
+			if z := ti.NextTask(); z >= 0 && !v.Tasks.Done(z) {
 				intent[z]++
 			}
 		}
 	}
 	type tc struct{ z, c int }
-	cand := make([]tc, 0, v.Undone)
-	for z := 0; z < v.T; z++ {
-		if !v.DoneTasks[z] {
-			cand = append(cand, tc{z, intent[z]})
-		}
+	cand := make([]tc, 0, v.Undone())
+	for z := v.Tasks.NextUndone(0); z >= 0; z = v.Tasks.NextUndone(z + 1) {
+		cand = append(cand, tc{z, intent[z]})
 	}
 	sort.Slice(cand, func(x, y int) bool {
 		if cand[x].c != cand[y].c {
@@ -350,7 +351,7 @@ func (a *StageOnline) planStage(v *sim.View) {
 		}
 		return cand[x].z > cand[y].z
 	})
-	k := int(int64(v.Undone) / (a.clock.L + 1))
+	k := int(int64(v.Undone()) / (a.clock.L + 1))
 	if k < 1 {
 		k = 1
 	}

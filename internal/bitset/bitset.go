@@ -101,6 +101,22 @@ func (s *Set) UnionWith(other *Set) int {
 	return added
 }
 
+// OrWith ORs other into s without counting the change — the count-free
+// sibling of UnionWith for scratch accumulators. Both sets must have the
+// same length.
+func (s *Set) OrWith(other *Set) {
+	if other.n != s.n {
+		panic("bitset: OrWith length mismatch")
+	}
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// onesCount is bits.OnesCount64, aliased so hot merge loops in this
+// package read uniformly.
+func onesCount(w uint64) int { return bits.OnesCount64(w) }
+
 // Clone returns a deep copy.
 func (s *Set) Clone() *Set {
 	c := New(s.n)

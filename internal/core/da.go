@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"doall/internal/bitset"
 	"doall/internal/perm"
@@ -19,6 +20,13 @@ import (
 // it completes a leaf or closes an interior node; received trees are
 // merged monotonically into the replica, pruning the traversal.
 //
+// The replica's node bits are an epoch-versioned set: a broadcast is an
+// immutable base-plus-delta-chain snapshot (O(changed words), not
+// O(nodes)), received snapshots merge through a per-sender version
+// cursor, and the interior-closure invariant is restored by upward
+// propagation from the newly merged bits instead of an O(nodes)
+// recompute — per-delivery cost proportional to the new knowledge.
+//
 // Work is O(t·p^ε + p·min{t,d}·⌈t/d⌉^ε) for a suitable constant q and a
 // low-contention Σ (Theorems 5.4, 5.5); messages are O(p·W) (Theorem 5.6).
 type DA struct {
@@ -27,13 +35,15 @@ type DA struct {
 	perms  perm.List // q permutations of [q]
 	digits []int     // q-ary digits of pid, digits[m] used at depth m
 	tree   *tree.Tree
+	vers   *bitset.Versioned // the tree's versioned node bits
+	mg     *bitset.Merger    // per-sender version cursor
 	jobs   Jobs
 	stack  []daFrame
 	unit   int // tasks of the current leaf's job already performed
 	halted bool
-	// free pools tree-snapshot buffers handed back by the engine
-	// (sim.PayloadRecycler), so steady-state broadcasts allocate nothing.
-	free []*bitset.Set
+	// scratch collects merged delta words for closure propagation.
+	scratch []bitset.DeltaWord
+	comb    combinedPool // pooled batch accumulators
 }
 
 type daFrame struct {
@@ -44,6 +54,7 @@ type daFrame struct {
 
 var (
 	_ sim.Machine         = (*DA)(nil)
+	_ sim.BatchConsumer   = (*DA)(nil)
 	_ sim.TaskIntender    = (*DA)(nil)
 	_ sim.Cloner          = (*DA)(nil)
 	_ sim.Resetter        = (*DA)(nil)
@@ -79,13 +90,15 @@ func NewDA(cfg DAConfig) ([]sim.Machine, error) {
 	jobs := NewJobs(cfg.P, cfg.T)
 	ms := make([]sim.Machine, cfg.P)
 	for i := range ms {
-		tr, _ := tree.NewForTasks(cfg.Q, jobs.N)
+		tr, _ := tree.NewForTasksVersioned(cfg.Q, jobs.N)
 		m := &DA{
 			pid:    i,
 			q:      cfg.Q,
 			perms:  cfg.Perms,
 			digits: qDigits(i, cfg.Q, tr.Height()),
 			tree:   tr,
+			vers:   tr.Versioned(),
+			mg:     bitset.NewMerger(cfg.P),
 			jobs:   jobs,
 		}
 		m.stack = append(m.stack, daFrame{node: tr.Root(), depth: 0})
@@ -111,7 +124,20 @@ func qDigits(pid, q, h int) []int {
 // a child, perform one task of a leaf job, or close a node and multicast.
 func (m *DA) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 	m.merge(inbox)
+	return m.advance()
+}
 
+// StepBatched implements sim.BatchConsumer; see PA.StepBatched.
+func (m *DA) StepBatched(now int64, batches []*sim.Batch, tail []sim.Delivery) sim.StepResult {
+	for _, b := range batches {
+		m.mergeBatch(b)
+	}
+	m.merge(tail)
+	return m.advance()
+}
+
+// advance is the post-merge traversal body.
+func (m *DA) advance() sim.StepResult {
 	for {
 		if len(m.stack) == 0 {
 			// Traversal finished ⇒ root is marked ⇒ all tasks done.
@@ -167,36 +193,113 @@ func (m *DA) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 	}
 }
 
-// merge applies received tree snapshots to the local replica.
+// merge applies received tree snapshots to the local replica: only the
+// chain suffix the sender's version cursor says is new, with closure
+// restored by propagating upward from the merged bits.
 func (m *DA) merge(inbox []sim.Delivery) {
 	for _, msg := range inbox {
 		snap, ok := msg.Payload().(TreeSnapshot)
-		if !ok {
+		if !ok || snap.S.Len() != m.tree.Size() {
 			continue
 		}
-		m.tree.MergeSet(snap.Bits)
+		m.scratch = m.scratch[:0]
+		_, m.scratch = m.mg.MergeCollect(m.vers, msg.From(), snap.S, m.scratch)
+		m.propagateChanges()
 	}
 }
 
-// snapshot captures the progress tree for a broadcast, reusing a pooled
-// buffer when the engine has recycled one (RecyclePayload) and cloning
-// otherwise.
+// mergeBatch folds one shared delivery group into the replica; see
+// PA.mergeBatch for the cache protocol.
+func (m *DA) mergeBatch(b *sim.Batch) {
+	if kc, ok := b.Combined.(*knowledgeCombined); ok {
+		if kc.n == m.tree.Size() {
+			m.applyCombined(kc)
+		} else {
+			m.mergeBatchEager(b)
+		}
+		return
+	}
+	if b.Combined != nil {
+		m.mergeBatchEager(b)
+		return
+	}
+	kc := m.comb.get(m.tree.Size())
+	for _, mc := range b.MCs {
+		ts, ok := mc.Payload.(TreeSnapshot)
+		if !ok || ts.S.Len() != m.tree.Size() {
+			m.comb.put(kc)
+			m.mergeBatchEager(b)
+			return
+		}
+		var dense bool
+		kc.idxs, dense = m.mg.AccumulateInto(kc.bits, mc.From, ts.S, kc.idxs)
+		kc.dense = kc.dense || dense
+	}
+	for _, mc := range b.MCs {
+		m.mg.Note(mc.From, mc.Payload.(TreeSnapshot).S.Ver())
+	}
+	if 2*len(kc.idxs) >= len(kc.bits.Words()) {
+		kc.dense = true
+	}
+	b.Combined, b.Builder = kc, int32(m.pid)
+	m.applyCombined(kc)
+}
+
+func (m *DA) applyCombined(kc *knowledgeCombined) {
+	m.scratch = m.scratch[:0]
+	if kc.dense {
+		_, m.scratch = m.vers.UnionWithCollect(kc.bits, m.scratch)
+	} else {
+		_, m.scratch = m.vers.MergeWordsCollect(kc.bits, kc.idxs, m.scratch)
+	}
+	m.propagateChanges()
+}
+
+func (m *DA) mergeBatchEager(b *sim.Batch) {
+	for _, mc := range b.MCs {
+		if mc.From == m.pid {
+			continue
+		}
+		ts, ok := mc.Payload.(TreeSnapshot)
+		if !ok || ts.S.Len() != m.tree.Size() {
+			continue
+		}
+		m.scratch = m.scratch[:0]
+		_, m.scratch = m.mg.MergeCollect(m.vers, mc.From, ts.S, m.scratch)
+		m.propagateChanges()
+	}
+}
+
+// propagateChanges restores the interior-closure invariant for every bit
+// newly set by the last merge (recorded in scratch as word deltas of new
+// bits). Propagating from each new node is equivalent to the bottom-up
+// recompute — an interior node's children can only become all-done when
+// at least one of them is among the new bits — at new-knowledge cost.
+func (m *DA) propagateChanges() {
+	for _, dw := range m.scratch {
+		base := int(dw.Index) << 6
+		w := dw.Word
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			m.tree.PropagateUp(base + b)
+		}
+	}
+}
+
+// snapshot captures the progress tree for a broadcast: an O(changed
+// words) versioned snapshot sharing the epoch base.
 func (m *DA) snapshot() TreeSnapshot {
-	if n := len(m.free); n > 0 {
-		b := m.free[n-1]
-		m.free[n-1] = nil
-		m.free = m.free[:n-1]
-		m.tree.SnapshotInto(b)
-		return TreeSnapshot{Bits: b}
-	}
-	return TreeSnapshot{Bits: m.tree.SnapshotSet()}
+	return TreeSnapshot{S: m.vers.Snapshot()}
 }
 
-// RecyclePayload implements sim.PayloadRecycler: a tree snapshot whose
-// recipients have all consumed it returns to the buffer pool.
+// RecyclePayload implements sim.PayloadRecycler; see PA.RecyclePayload.
 func (m *DA) RecyclePayload(p any) {
-	if ts, ok := p.(TreeSnapshot); ok && ts.Bits.Len() == m.tree.Size() {
-		m.free = append(m.free, ts.Bits)
+	switch v := p.(type) {
+	case TreeSnapshot:
+		m.vers.Recycle(v.S)
+	case *knowledgeCombined:
+		m.comb.put(v)
 	}
 }
 
@@ -244,17 +347,21 @@ func (m *DA) NextTask() int {
 func (m *DA) CloneMachine() sim.Machine {
 	c := *m
 	c.tree = m.tree.Clone()
+	c.vers = c.tree.Versioned()
+	c.mg = m.mg.Clone()
 	c.stack = append([]daFrame(nil), m.stack...)
-	c.free = nil // pooled buffers stay with the original
+	c.scratch = nil
+	c.comb = combinedPool{} // pooled buffers stay with the original
 	// digits and perms are immutable; share them.
 	return &c
 }
 
 // Reset implements sim.Resetter: the machine returns to its initial state
-// without allocating (the snapshot buffer pool and stack capacity are
-// kept), after which it replays the exact same traversal.
+// without allocating (the snapshot and accumulator pools and stack
+// capacity are kept), after which it replays the exact same traversal.
 func (m *DA) Reset() {
 	m.tree.ResetPadded(m.jobs.N)
+	m.mg.Reset()
 	m.stack = m.stack[:0]
 	m.stack = append(m.stack, daFrame{node: m.tree.Root(), depth: 0})
 	m.unit = 0

@@ -17,6 +17,14 @@ import (
 // done-sets are merged (a monotone union, charged to the step that
 // consumes them).
 //
+// The done-set is an epoch-versioned bit set (bitset.Versioned): each
+// broadcast snapshots it as an immutable base-plus-delta-chain share, and
+// received snapshots are merged through a per-sender version cursor
+// (bitset.Merger), so a delivery costs words-changed, not words-total.
+// Under the engine's grouped delivery path (sim.BatchConsumer) a whole
+// delivery group is merged as one combined union, built once per group by
+// its first consumer.
+//
 // The three family members differ only in the Selector:
 //
 //   - PaRan1: a permutation of the jobs drawn uniformly at random at
@@ -30,15 +38,14 @@ import (
 type PA struct {
 	pid      int
 	jobs     Jobs
-	done     *bitset.Set // done job set (known complete)
-	remain   int         // jobs not known complete
+	done     *bitset.Versioned // done job set (known complete)
+	mg       *bitset.Merger    // per-sender version cursor
+	remain   int               // jobs not known complete
 	selector selector
 	cur      int // current job, -1 if none selected
 	unit     int // tasks of current job already performed
 	halted   bool
-	// free pools done-set snapshot buffers handed back by the engine
-	// (sim.PayloadRecycler), so steady-state broadcasts allocate nothing.
-	free []*bitset.Set
+	comb     combinedPool // pooled batch accumulators
 }
 
 // selector abstracts the Order+Select specializations of Fig. 4.
@@ -55,6 +62,7 @@ type selector interface {
 
 var (
 	_ sim.Machine         = (*PA)(nil)
+	_ sim.BatchConsumer   = (*PA)(nil)
 	_ sim.TaskIntender    = (*PA)(nil)
 	_ sim.Resetter        = (*PA)(nil)
 	_ sim.PayloadRecycler = (*PA)(nil)
@@ -120,9 +128,19 @@ func (s *randSelector) reset() { s.committed = -1 }
 func NewPaRan1(p, t int, seed int64) []sim.Machine {
 	jobs := NewJobs(p, t)
 	ms := make([]sim.Machine, p)
+	// One source, re-seeded per processor: Seed(s) fully reinitializes the
+	// generator, so the permutations are bit-identical to fresh
+	// rand.NewSource(s) draws while machine construction sheds p-1 source
+	// allocations (the dominant construction garbage at large p).
+	src := rand.NewSource(seed)
+	r := rand.New(src)
+	// All p permutations share one backing array (pointer-free, one
+	// allocation) instead of p separate ones.
+	backing := make([]int, p*jobs.N)
 	for i := range ms {
-		r := rand.New(rand.NewSource(seed + int64(i)))
-		ms[i] = newPA(i, jobs, &permSelector{order: perm.Random(jobs.N, r)})
+		src.Seed(seed + int64(i))
+		order := perm.RandomInto(jobs.N, r, backing[i*jobs.N:])
+		ms[i] = newPA(i, p, jobs, &permSelector{order: order})
 	}
 	return ms
 }
@@ -133,7 +151,7 @@ func NewPaRan2(p, t int, seed int64) []sim.Machine {
 	ms := make([]sim.Machine, p)
 	for i := range ms {
 		r := rand.New(rand.NewSource(seed + int64(i)))
-		ms[i] = newPA(i, jobs, &randSelector{rng: r, committed: -1})
+		ms[i] = newPA(i, p, jobs, &randSelector{rng: r, committed: -1})
 	}
 	return ms
 }
@@ -154,16 +172,17 @@ func NewPaDet(p, t int, l perm.List) ([]sim.Machine, error) {
 	}
 	ms := make([]sim.Machine, p)
 	for i := range ms {
-		ms[i] = newPA(i, jobs, &permSelector{order: l[i%len(l)]})
+		ms[i] = newPA(i, p, jobs, &permSelector{order: l[i%len(l)]})
 	}
 	return ms, nil
 }
 
-func newPA(pid int, jobs Jobs, sel selector) *PA {
+func newPA(pid, p int, jobs Jobs, sel selector) *PA {
 	return &PA{
 		pid:      pid,
 		jobs:     jobs,
-		done:     bitset.New(jobs.N),
+		done:     bitset.NewVersioned(jobs.N),
+		mg:       bitset.NewMerger(p),
 		remain:   jobs.N,
 		selector: sel,
 		cur:      -1,
@@ -173,7 +192,23 @@ func newPA(pid int, jobs Jobs, sel selector) *PA {
 // Step implements sim.Machine.
 func (m *PA) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 	m.mergeInbox(inbox)
+	return m.advance()
+}
 
+// StepBatched implements sim.BatchConsumer: pending delivery groups are
+// merged through the shared combined-knowledge cache (one union per
+// group), the per-recipient tail individually. Merges are monotone
+// unions, so the order difference from Step is unobservable.
+func (m *PA) StepBatched(now int64, batches []*sim.Batch, tail []sim.Delivery) sim.StepResult {
+	for _, b := range batches {
+		m.mergeBatch(b)
+	}
+	m.mergeInbox(tail)
+	return m.advance()
+}
+
+// advance is the post-merge step body: select, perform, broadcast.
+func (m *PA) advance() sim.StepResult {
 	if m.remain == 0 {
 		m.halted = true
 		return sim.StepResult{Halt: true}
@@ -181,7 +216,7 @@ func (m *PA) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 
 	// (Re)select if we have no current job or a peer finished ours.
 	if m.cur < 0 || m.done.Get(m.cur) {
-		m.cur = m.selector.next(m.done)
+		m.cur = m.selector.next(m.done.Bits())
 		m.unit = 0
 		if m.cur < 0 {
 			m.halted = true
@@ -212,10 +247,72 @@ func (m *PA) Step(now int64, inbox []sim.Delivery) sim.StepResult {
 func (m *PA) mergeInbox(inbox []sim.Delivery) {
 	for _, msg := range inbox {
 		ds, ok := msg.Payload().(DoneSet)
-		if !ok || ds.Bits.Len() != m.done.Len() {
+		if !ok || ds.S.Len() != m.done.Len() {
 			continue
 		}
-		m.remain -= m.done.UnionWith(ds.Bits)
+		m.remain -= m.mg.Merge(m.done, msg.From(), ds.S)
+	}
+}
+
+// mergeBatch folds one shared delivery group into the done-set: apply the
+// published combined knowledge if compatible, build and publish it if
+// absent, and fall back to per-sender merges otherwise.
+func (m *PA) mergeBatch(b *sim.Batch) {
+	if kc, ok := b.Combined.(*knowledgeCombined); ok {
+		if kc.n == m.done.Len() {
+			m.applyCombined(kc)
+		} else {
+			m.mergeBatchEager(b)
+		}
+		return
+	}
+	if b.Combined != nil {
+		// A foreign cache type: another machine kind built it.
+		m.mergeBatchEager(b)
+		return
+	}
+	kc := m.comb.get(m.done.Len())
+	for _, mc := range b.MCs {
+		ds, ok := mc.Payload.(DoneSet)
+		if !ok || ds.S.Len() != m.done.Len() {
+			m.comb.put(kc)
+			m.mergeBatchEager(b)
+			return
+		}
+		var dense bool
+		kc.idxs, dense = m.mg.AccumulateInto(kc.bits, mc.From, ds.S, kc.idxs)
+		kc.dense = kc.dense || dense
+	}
+	// Advance the cursors only now that the whole batch accumulated — an
+	// aborted build must not claim knowledge it never merged.
+	for _, mc := range b.MCs {
+		m.mg.Note(mc.From, mc.Payload.(DoneSet).S.Ver())
+	}
+	if 2*len(kc.idxs) >= len(kc.bits.Words()) {
+		kc.dense = true // full-width union is cheaper than the index list
+	}
+	b.Combined, b.Builder = kc, int32(m.pid)
+	m.applyCombined(kc)
+}
+
+func (m *PA) applyCombined(kc *knowledgeCombined) {
+	if kc.dense {
+		m.remain -= m.done.UnionWith(kc.bits)
+	} else {
+		m.remain -= m.done.MergeWords(kc.bits, kc.idxs)
+	}
+}
+
+// mergeBatchEager merges a batch's multicasts one by one (the fallback
+// when no compatible combined cache applies).
+func (m *PA) mergeBatchEager(b *sim.Batch) {
+	for _, mc := range b.MCs {
+		if mc.From == m.pid {
+			continue
+		}
+		if ds, ok := mc.Payload.(DoneSet); ok && ds.S.Len() == m.done.Len() {
+			m.remain -= m.mg.Merge(m.done, mc.From, ds.S)
+		}
 	}
 }
 
@@ -226,24 +323,26 @@ func (m *PA) markDone(j int) {
 	}
 }
 
-// snapshot captures the done-set for a broadcast, reusing a pooled buffer
-// when the engine has recycled one (RecyclePayload) and cloning otherwise.
+// snapshot captures the done-set for a broadcast: an O(changed words)
+// versioned snapshot sharing the epoch base, not a full copy. The own
+// cursor deliberately does NOT advance here: batch builders must
+// accumulate even their own snapshots from the cohort's last-consumed
+// version, because the combined cache they publish is consumed by
+// everyone (merging one's own words back is a monotone no-op).
 func (m *PA) snapshot() DoneSet {
-	if n := len(m.free); n > 0 {
-		b := m.free[n-1]
-		m.free[n-1] = nil
-		m.free = m.free[:n-1]
-		b.CopyFrom(m.done)
-		return DoneSet{Bits: b}
-	}
-	return DoneSet{Bits: m.done.Clone()}
+	return DoneSet{S: m.done.Snapshot()}
 }
 
-// RecyclePayload implements sim.PayloadRecycler: a done-set snapshot whose
-// recipients have all consumed it returns to the buffer pool.
+// RecyclePayload implements sim.PayloadRecycler: snapshots whose
+// recipients have all consumed them return to the versioned set's pools
+// (retiring whole epochs once drained), and combined batch caches this
+// machine built return to its accumulator pool.
 func (m *PA) RecyclePayload(p any) {
-	if ds, ok := p.(DoneSet); ok && ds.Bits.Len() == m.done.Len() {
-		m.free = append(m.free, ds.Bits)
+	switch v := p.(type) {
+	case DoneSet:
+		m.done.Recycle(v.S)
+	case *knowledgeCombined:
+		m.comb.put(v)
 	}
 }
 
@@ -257,7 +356,7 @@ func (m *PA) NextTask() int {
 	}
 	cur, unit := m.cur, m.unit
 	if cur < 0 || m.done.Get(cur) {
-		cur = m.selector.next(m.done)
+		cur = m.selector.next(m.done.Bits())
 		unit = 0
 	}
 	if cur < 0 {
@@ -278,16 +377,18 @@ func (m *PA) CloneMachine() sim.Machine {
 	c := *m
 	c.selector = sel
 	c.done = m.done.Clone()
-	c.free = nil // pooled buffers stay with the original
+	c.mg = m.mg.Clone()
+	c.comb = combinedPool{} // pooled buffers stay with the original
 	return &c
 }
 
 // Reset implements sim.Resetter: the machine returns to its initial state
-// without allocating (the snapshot buffer pool is kept). PaRan1 and PaDet
-// replay the exact same schedule; PaRan2's random stream continues, so a
-// reset machine runs a fresh trial.
+// without allocating (the snapshot and accumulator pools are kept).
+// PaRan1 and PaDet replay the exact same schedule; PaRan2's random stream
+// continues, so a reset machine runs a fresh trial.
 func (m *PA) Reset() {
-	m.done.ClearAll()
+	m.done.Reset()
+	m.mg.Reset()
 	m.remain = m.jobs.N
 	m.selector.reset()
 	m.cur = -1

@@ -21,41 +21,139 @@ var (
 	_ sim.Payload = DoneSet{}
 )
 
-// TreeSnapshot is the DA multicast payload: a snapshot of the sender's
-// progress-tree bits. Receivers must treat it as immutable (it is shared
-// across the recipients of one multicast).
+// TreeSnapshot is the DA multicast payload: a versioned snapshot of the
+// sender's progress-tree bits. The payload *means* the sender's full tree
+// at the snapshot's version; it is *represented* as an immutable epoch
+// base plus a delta chain (bitset.Snapshot), so receivers merge only the
+// words that changed since the version they last saw from the sender.
+// Receivers must treat it as immutable (it is shared across the
+// recipients of one multicast).
 type TreeSnapshot struct {
-	Bits *bitset.Set
+	S *bitset.Snapshot
 }
 
-// WireSize implements Sizer.
-func (s TreeSnapshot) WireSize() int { return wire.Size(wire.KindTree, s.Bits) }
+// WireSize implements Sizer: the sparse delta encoding for in-sequence
+// snapshots, the full encoding for rebased ones.
+func (s TreeSnapshot) WireSize() int {
+	return snapshotWireSize(wire.KindTree, wire.KindTreeDelta, s.S)
+}
 
 // Encode serializes the snapshot with the wire format.
-func (s TreeSnapshot) Encode() []byte { return wire.Encode(wire.KindTree, s.Bits) }
+func (s TreeSnapshot) Encode() []byte {
+	return snapshotEncode(wire.KindTree, wire.KindTreeDelta, s.S)
+}
 
-// DoneSet is the PA multicast payload: the sender's known-done job set.
+// DoneSet is the PA multicast payload: a versioned snapshot of the
+// sender's known-done job set, represented like TreeSnapshot.
 // Immutable once sent.
 type DoneSet struct {
-	Bits *bitset.Set
+	S *bitset.Snapshot
 }
 
 // WireSize implements Sizer.
-func (s DoneSet) WireSize() int { return wire.Size(wire.KindDoneSet, s.Bits) }
+func (s DoneSet) WireSize() int {
+	return snapshotWireSize(wire.KindDoneSet, wire.KindDoneSetDelta, s.S)
+}
 
 // Encode serializes the done-set with the wire format.
-func (s DoneSet) Encode() []byte { return wire.Encode(wire.KindDoneSet, s.Bits) }
+func (s DoneSet) Encode() []byte {
+	return snapshotEncode(wire.KindDoneSet, wire.KindDoneSetDelta, s.S)
+}
 
-// DecodePayload parses an encoded payload back into its typed form.
+// snapshotWireSize returns the wire size of a versioned snapshot without
+// allocating: the sparse delta message when the snapshot has a chain, the
+// full (old-kind) snapshot when it is a fresh rebase — the on-wire form
+// of the full-merge fallback.
+func snapshotWireSize(full, delta wire.Kind, s *bitset.Snapshot) int {
+	if words, ok := s.WireDelta(); ok {
+		return wire.SizeDelta(delta, s.Len(), s.Ver(), s.BaseVer(), words)
+	}
+	if b := s.Base(); b != nil {
+		return wire.Size(full, b)
+	}
+	return wire.SizeEmpty(full, s.Len())
+}
+
+// snapshotEncode is the allocation-tolerant sibling of snapshotWireSize.
+func snapshotEncode(full, delta wire.Kind, s *bitset.Snapshot) []byte {
+	if words, ok := s.WireDelta(); ok {
+		return wire.EncodeDelta(delta, s.Len(), s.Ver(), s.BaseVer(), words)
+	}
+	if b := s.Base(); b != nil {
+		return wire.Encode(full, b)
+	}
+	return wire.Encode(full, bitset.New(s.Len()))
+}
+
+// FullSnapshot is the decoded form of a full (non-delta) payload message.
+type FullSnapshot struct {
+	Kind wire.Kind
+	Bits *bitset.Set
+}
+
+// DecodePayload parses an encoded payload back into its typed form: a
+// FullSnapshot for the full kinds (including every pre-delta message —
+// old kinds stay decodable), a wire.DeltaMessage for the delta kinds.
 func DecodePayload(msg []byte) (any, error) {
+	if len(msg) >= 2 && wire.DeltaKind(wire.Kind(msg[1])) {
+		dm, err := wire.DecodeDelta(msg)
+		if err != nil {
+			return nil, err
+		}
+		return dm, nil
+	}
 	kind, bits, err := wire.Decode(msg)
 	if err != nil {
 		return nil, err
 	}
-	switch kind {
-	case wire.KindTree:
-		return TreeSnapshot{Bits: bits}, nil
-	default:
-		return DoneSet{Bits: bits}, nil
+	return FullSnapshot{Kind: kind, Bits: bits}, nil
+}
+
+// knowledgeCombined is the combined knowledge cache one consumer
+// publishes in a sim.Batch (Batch.Combined): the union of the new words
+// of every snapshot in the batch, accumulated once and merged by every
+// later consumer with a single union instead of one merge per sender.
+// idxs lists the touched word indices (repeats allowed) for the sparse
+// consume path; dense marks accumulations that folded in a full epoch
+// base, which must be consumed full-width. Published values are immutable
+// until the engine hands them back to the builder for pooling.
+type knowledgeCombined struct {
+	n     int // bit capacity (shape key: consumers with another n ignore it)
+	bits  *bitset.Set
+	idxs  []int32
+	dense bool
+}
+
+// combinedPool pools knowledgeCombined accumulators inside one machine.
+type combinedPool struct {
+	free []*knowledgeCombined
+}
+
+// get returns a cleared accumulator for n bits.
+func (p *combinedPool) get(n int) *knowledgeCombined {
+	for len(p.free) > 0 {
+		kc := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		if kc.n == n {
+			return kc
+		}
+		// Wrong shape (machine reused across shapes): drop it.
 	}
+	return &knowledgeCombined{n: n, bits: bitset.New(n)}
+}
+
+// put clears and pools an accumulator: sparse accumulations zero only
+// their touched words, dense ones the whole set.
+func (p *combinedPool) put(kc *knowledgeCombined) {
+	if kc.dense {
+		kc.bits.ClearAll()
+	} else {
+		words := kc.bits.Words()
+		for _, i := range kc.idxs {
+			words[i] = 0
+		}
+	}
+	kc.idxs = kc.idxs[:0]
+	kc.dense = false
+	p.free = append(p.free, kc)
 }

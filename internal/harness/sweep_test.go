@@ -89,7 +89,7 @@ func TestSweepReportJSONRoundTrip(t *testing.T) {
 	cfg.Algos = []Algo{AlgoAllToAll}
 	cfg.Ps, cfg.Ts, cfg.Ds = []int{4}, []int{8}, []int64{1}
 	rep := NewSweepReport(cfg)
-	if rep.Engine != "multicast-wheel-pooled" {
+	if rep.Engine != "multicast-wheel-grouped" {
 		t.Fatalf("engine tag = %q", rep.Engine)
 	}
 	var buf bytes.Buffer

@@ -46,6 +46,23 @@ func Random(n int, r *rand.Rand) Perm {
 	return Perm(r.Perm(n))
 }
 
+// RandomInto fills buf (length must be ≥ n) with a uniformly random
+// permutation of n elements, consuming r exactly like Random — the two
+// produce identical permutations from identical generator states (pinned
+// by tests) — but without allocating. Bulk machine builders carve many
+// permutations out of one backing array this way, shedding the dominant
+// construction allocation at large p.
+func RandomInto(n int, r *rand.Rand, buf []int) Perm {
+	m := buf[:n]
+	// The inside-out Fisher–Yates of math/rand.(*Rand).Perm, verbatim.
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return Perm(m)
+}
+
 // RandomList returns a list of k independent uniformly random permutations
 // of n elements.
 func RandomList(k, n int, r *rand.Rand) List {

@@ -373,3 +373,24 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestRandomIntoMatchesRandom pins the allocation-free permutation
+// generator to math/rand's Perm: identical generator states must yield
+// identical permutations (PaRan1's reproducibility depends on it).
+func TestRandomIntoMatchesRandom(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		for seed := int64(0); seed < 5; seed++ {
+			want := Random(n, rand.New(rand.NewSource(seed)))
+			buf := make([]int, n)
+			got := RandomInto(n, rand.New(rand.NewSource(seed)), buf)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d seed=%d: length %d vs %d", n, seed, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d seed=%d: RandomInto diverges from Random at %d", n, seed, i)
+				}
+			}
+		}
+	}
+}

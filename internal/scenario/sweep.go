@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"doall/internal/bounds"
 	"doall/internal/sim"
 )
 
@@ -40,6 +41,12 @@ type SweepConfig struct {
 	Workers int
 	// MaxSteps overrides the simulator step cap per run (0 = default).
 	MaxSteps int64
+	// Theory adds the paper's closed-form curves to every cell:
+	// LowerBound (Theorems 3.1/3.4), DAUpperBound (Theorem 5.5, ε = 0.5 as
+	// in experiment E6), PAUpperBound (Theorems 6.2/6.3), and the
+	// work/LowerBound overhead ratio, so BENCH files carry
+	// measured-vs-theory columns.
+	Theory bool
 	// Progress, when non-nil, is invoked after every completed cell with
 	// the number of cells finished so far and the grid total, driven off
 	// the sweep's atomic completion counter. It is called concurrently
@@ -86,6 +93,14 @@ type Cell struct {
 	// NsPerRun is wall-clock nanoseconds per simulation run (engine
 	// throughput, not a model quantity).
 	NsPerRun int64 `json:"ns_per_run"`
+	// Theory columns (present when SweepConfig.Theory): the paper's
+	// closed-form curves at this cell's shape and the measured-over-lower-
+	// bound overhead ratio. Bounds hide constants, so only growth and
+	// crossovers are meaningful.
+	LowerBound   float64 `json:"lower_bound,omitempty"`
+	DAUpperBound float64 `json:"da_upper_bound,omitempty"`
+	PAUpperBound float64 `json:"pa_upper_bound,omitempty"`
+	WorkOverLB   float64 `json:"work_over_lb,omitempty"`
 	// Err is non-empty when the cell failed (e.g. step cap exceeded).
 	Err string `json:"err,omitempty"`
 }
@@ -171,6 +186,9 @@ func RunSweep(c SweepConfig) []Cell {
 					return
 				}
 				cells[i] = runCell(specs[i], c.Trials, eng)
+				if c.Theory {
+					addTheory(&cells[i])
+				}
 				if done := int(completed.Add(1)); c.Progress != nil {
 					c.Progress(done, len(specs))
 				}
@@ -211,6 +229,17 @@ func runCell(sc Scenario, trials int, eng *sim.Engine) Cell {
 	return cell
 }
 
+// addTheory fills a cell's closed-form theory columns.
+func addTheory(c *Cell) {
+	p, t, d := c.P, c.T, int(c.D)
+	c.LowerBound = bounds.LowerBound(p, t, d)
+	c.DAUpperBound = bounds.DAUpperBound(p, t, d, 0.5)
+	c.PAUpperBound = bounds.PAUpperBound(p, t, d)
+	if c.Err == "" {
+		c.WorkOverLB = bounds.Overhead(int64(c.Work), c.LowerBound)
+	}
+}
+
 // SweepReport is the JSON envelope written by cmd/experiments -sweep;
 // BENCH_*.json files at the repo root follow this schema so successive
 // PRs can compare per-cell work/messages/ns trajectories.
@@ -223,18 +252,21 @@ type SweepReport struct {
 	// joined with ";".
 	Adversary string `json:"adversary"`
 	// BaseSeed reproduces the sweep exactly.
-	BaseSeed int64  `json:"base_seed"`
-	Cells    []Cell `json:"cells"`
+	BaseSeed int64 `json:"base_seed"`
+	// Theory records whether the cells carry closed-form theory columns.
+	Theory bool   `json:"theory,omitempty"`
+	Cells  []Cell `json:"cells"`
 }
 
 // NewSweepReport runs the sweep and wraps it for serialization.
 func NewSweepReport(c SweepConfig) SweepReport {
 	c = c.withDefaults()
 	return SweepReport{
-		Engine:     "multicast-wheel-pooled",
+		Engine:     "multicast-wheel-grouped",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Adversary:  strings.Join(c.Adversaries, ";"),
 		BaseSeed:   c.BaseSeed,
+		Theory:     c.Theory,
 		Cells:      RunSweep(c),
 	}
 }

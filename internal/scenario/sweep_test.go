@@ -188,9 +188,17 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 // exactly. This is the cross-PR determinism contract: engine rewrites may
 // only move ns_per_run, never the model quantities.
 func TestBench0CellsReproduce(t *testing.T) {
-	data, err := os.ReadFile("../../BENCH_0.json")
+	assertBenchCellsReproduce(t, "BENCH_0.json", 16, 256)
+}
+
+// assertBenchCellsReproduce re-runs the (p, t) corner of a committed
+// baseline (PaDet excluded for its schedule-search cost) and requires
+// the recorded work/messages/solved_at to reproduce exactly.
+func assertBenchCellsReproduce(t *testing.T, file string, p, tasks int) {
+	t.Helper()
+	data, err := os.ReadFile("../../" + file)
 	if err != nil {
-		t.Skipf("BENCH_0.json not present: %v", err)
+		t.Skipf("%s not present: %v", file, err)
 	}
 	var rep SweepReport
 	if err := json.Unmarshal(data, &rep); err != nil {
@@ -199,21 +207,68 @@ func TestBench0CellsReproduce(t *testing.T) {
 	checked := 0
 	eng := sim.NewEngine()
 	for _, c := range rep.Cells {
-		if c.P != 16 || c.T != 256 || c.Algo == AlgoPaDet {
+		if c.P != p || c.T != tasks || c.Algo == AlgoPaDet {
 			continue
 		}
-		sc := Scenario{Algorithm: c.Algo, Adversary: rep.Adversary, P: c.P, T: c.T, D: c.D, Seed: c.Seed}
+		adv := c.Adversary
+		if adv == "" {
+			adv = rep.Adversary // pre-adversary-axis baselines (BENCH_0)
+		}
+		sc := Scenario{Algorithm: c.Algo, Adversary: adv, P: c.P, T: c.T, D: c.D, Seed: c.Seed}
 		got := runCell(sc, c.Trials, eng)
 		if got.Err != "" {
 			t.Fatalf("cell %s/d=%d failed: %s", c.Algo, c.D, got.Err)
 		}
 		if got.Work != c.Work || got.Messages != c.Messages || got.SolvedAt != c.SolvedAt {
-			t.Errorf("cell %s/d=%d diverged from BENCH_0: work %v→%v, messages %v→%v, solved_at %v→%v",
-				c.Algo, c.D, c.Work, got.Work, c.Messages, got.Messages, c.SolvedAt, got.SolvedAt)
+			t.Errorf("cell %s/d=%d diverged from %s: work %v→%v, messages %v→%v, solved_at %v→%v",
+				c.Algo, c.D, file, c.Work, got.Work, c.Messages, got.Messages, c.SolvedAt, got.SolvedAt)
 		}
 		checked++
 	}
 	if checked != 9 {
 		t.Fatalf("checked %d cells, want 9 (grid layout changed?)", checked)
+	}
+}
+
+// TestBench1CellsReproduce extends the determinism contract to the
+// BENCH_1.json baseline recorded by PR 3: the p=64, t=256 corner must
+// reproduce exactly under the versioned knowledge plane and the grouped
+// delivery engine.
+func TestBench1CellsReproduce(t *testing.T) {
+	assertBenchCellsReproduce(t, "BENCH_1.json", 64, 256)
+}
+
+// TestBench2SchemaReadable guards the BENCH_2.json large-shape baseline:
+// it must parse, carry the theory columns, and extend the grid to
+// p=4096, t=262144.
+func TestBench2SchemaReadable(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_2.json")
+	if err != nil {
+		t.Skipf("BENCH_2.json not present: %v", err)
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_2.json no longer parses: %v", err)
+	}
+	if !rep.Theory {
+		t.Fatal("BENCH_2.json lost its theory marker")
+	}
+	maxP, maxT := 0, 0
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s p=%d t=%d d=%d recorded an error: %s", c.Algo, c.P, c.T, c.D, c.Err)
+		}
+		if c.LowerBound <= 0 || c.WorkOverLB <= 0 {
+			t.Errorf("cell %s p=%d t=%d d=%d missing theory columns", c.Algo, c.P, c.T, c.D)
+		}
+		if c.P > maxP {
+			maxP = c.P
+		}
+		if c.T > maxT {
+			maxT = c.T
+		}
+	}
+	if maxP < 4096 || maxT < 262144 {
+		t.Fatalf("BENCH_2 grid tops out at p=%d t=%d, want ≥ 4096/262144", maxP, maxT)
 	}
 }

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+)
+
+// batchFair is a uniform-delay, always-active, InboxAgnostic adversary
+// driving the grouped delivery path in tests.
+type batchFair struct{ d int64 }
+
+func (a *batchFair) D() int64 { return a.d }
+func (a *batchFair) Schedule(v *View, dec *Decision) {
+	for i := 0; i < v.P; i++ {
+		dec.Active = append(dec.Active, i)
+	}
+}
+func (a *batchFair) Delay(from, to int, sentAt int64) int64            { return a.d }
+func (a *batchFair) DelayUniform(from int, sentAt int64) (int64, bool) { return a.d, true }
+func (a *batchFair) InboxAgnostic() bool                               { return true }
+
+// chatty is a plain (non-BatchConsumer) machine: every step it broadcasts
+// its pid and counts every distinct message it received. Under the
+// grouped engine its inbox is materialized from the shared batches; the
+// counts must match the eager engine's exactly.
+type chatty struct {
+	pid      int
+	steps    int
+	received int
+	own      int // own multicasts seen (must stay 0: senders skip their own)
+	limit    int
+}
+
+func (m *chatty) Step(now int64, inbox []Delivery) StepResult {
+	for _, d := range inbox {
+		if d.From() == m.pid {
+			m.own++
+		}
+		m.received++
+	}
+	m.steps++
+	if m.steps >= m.limit {
+		return StepResult{Halt: true}
+	}
+	return StepResult{Broadcast: m.pid}
+}
+
+func (m *chatty) KnowsAllDone() bool { return true }
+
+// TestGroupedMaterializationMatchesEager runs plain machines (no
+// BatchConsumer) under the grouped engine and under the same engine with
+// grouping disabled (via an observer), checking the delivered message
+// flow is identical — materialized batches must be indistinguishable
+// from eager per-recipient delivery.
+func TestGroupedMaterializationMatchesEager(t *testing.T) {
+	run := func(obs Observer) []*chatty {
+		const p = 5
+		ms := make([]Machine, p)
+		cs := make([]*chatty, p)
+		for i := range ms {
+			cs[i] = &chatty{pid: i, limit: 12}
+			ms[i] = cs[i]
+		}
+		// The first machine performs every task so the run solves.
+		cfg := Config{P: p, T: 1, Observer: obs}
+		ms[0] = &solver{chatty: cs[0]}
+		if _, err := Run(cfg, ms, &batchFair{d: 2}); err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	grouped := run(nil)         // InboxAgnostic adversary, no observer: grouped
+	eager := run(NopObserver{}) // observer forces the eager path
+	for i := range grouped {
+		if grouped[i].own != 0 || eager[i].own != 0 {
+			t.Fatalf("machine %d saw its own multicast (grouped=%d eager=%d)",
+				i, grouped[i].own, eager[i].own)
+		}
+		if grouped[i].received != eager[i].received || grouped[i].steps != eager[i].steps {
+			t.Fatalf("machine %d: grouped received=%d steps=%d, eager received=%d steps=%d",
+				i, grouped[i].received, grouped[i].steps, eager[i].received, eager[i].steps)
+		}
+	}
+}
+
+// solver wraps chatty and performs task 0 on its first step.
+type solver struct{ *chatty }
+
+func (s *solver) Step(now int64, inbox []Delivery) StepResult {
+	r := s.chatty.Step(now, inbox)
+	if s.chatty.steps == 1 {
+		r.Perform(0)
+	}
+	return r
+}
+
+// countingConsumer implements BatchConsumer and records how it was fed.
+// Unlike materialized inboxes, batches DO contain the consumer's own
+// multicasts (the shared group is identical for everyone); the consumer
+// is responsible for skipping them, and skippedOwn counts those.
+type countingConsumer struct {
+	chatty
+	batchedCalls int
+	skippedOwn   int
+}
+
+func (m *countingConsumer) StepBatched(now int64, batches []*Batch, tail []Delivery) StepResult {
+	m.batchedCalls++
+	for _, b := range batches {
+		for _, mc := range b.MCs {
+			if mc.From == m.pid {
+				m.skippedOwn++
+				continue
+			}
+			m.received++
+		}
+	}
+	return m.chatty.Step(now, tail)
+}
+
+// TestBatchConsumerReceivesGroups checks BatchConsumer machines get the
+// shared groups directly (no materialization) and exactly once each.
+func TestBatchConsumerReceivesGroups(t *testing.T) {
+	const p = 4
+	ms := make([]Machine, p)
+	cs := make([]*countingConsumer, p)
+	for i := range ms {
+		cs[i] = &countingConsumer{chatty: chatty{pid: i, limit: 10}}
+		ms[i] = cs[i]
+	}
+	res, err := Run(Config{P: p, T: 1}, append([]Machine{&solver{&cs[0].chatty}}, ms[1:]...), &batchFair{d: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("not solved")
+	}
+	// Every consumer must have been fed through StepBatched (grouping
+	// active for BatchConsumer machines), must have seen (and skipped) its
+	// own multicasts inside the shared groups, and must have received
+	// peers' multicasts through them.
+	for i := 1; i < p; i++ {
+		if cs[i].batchedCalls == 0 {
+			t.Fatalf("machine %d never received a batch (grouping inactive?)", i)
+		}
+		if cs[i].skippedOwn == 0 {
+			t.Fatalf("machine %d never saw its own multicast in a shared group", i)
+		}
+		if cs[i].received == 0 {
+			t.Fatalf("machine %d received nothing through batches", i)
+		}
+	}
+}

@@ -28,6 +28,15 @@ func Run(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 // across ticks and across runs; idle stretches announced via
 // Decision.NextWake are fast-forwarded instead of ticked through.
 //
+// When the adversary declares itself InboxAgnostic (and no observer is
+// attached), the engine runs its grouped delivery path: all uniform
+// multicasts due at one time unit form a single shared Batch consumed by
+// reference by every live processor, so a broadcast's delivery fan-out
+// costs O(1) instead of p-1 inbox appends, and BatchConsumer machines
+// share one combined-knowledge merge per batch instead of paying one
+// merge per sender per recipient. Results are byte-identical to the
+// eager path's (asserted by the equivalence tests).
+//
 // An Engine is not safe for concurrent use; sweeps hold one per worker.
 type Engine struct {
 	cfg      Config
@@ -42,11 +51,10 @@ type Engine struct {
 	crashed  []bool
 	halted   []bool
 	stopped  int // processors crashed or halted
-	done     []bool
-	undone   int
+	tasks    *TaskLedger
 	inflight int // undelivered point-to-point messages
 	res      Result
-	view     View     // reused across ticks; only Now/Undone/InFlight change
+	view     View     // reused across ticks; only Now/InFlight change
 	dec      Decision // reused across ticks; adversaries append into it
 	delays   []int64  // scratch for per-recipient delays, length P
 	// recyclers[i] is machines[i]'s PayloadRecycler, nil when unsupported.
@@ -57,6 +65,21 @@ type Engine struct {
 	allBut   []*bitset.Set // lazily built all-but-sender recipient sets
 	idle     bool
 	nextWake int64
+
+	// Grouped delivery path state. ringBuf[ringHead:] holds the live
+	// batches, oldest first; the batch at ringBuf[ringHead] has sequence
+	// number ringSeq0 and batchSeq is the next sequence to assign.
+	// cursor[i] is the sequence of the first batch processor i has not
+	// consumed; batchers[i] caches machines[i]'s BatchConsumer.
+	grouped   bool
+	ringBuf   []*Batch
+	ringHead  int
+	ringSeq0  int64
+	batchSeq  int64
+	cursor    []int64
+	batchers  []BatchConsumer
+	freeBatch []*Batch
+	scratch   []Delivery // materialized inbox for non-BatchConsumer machines
 }
 
 // NewEngine returns an empty engine; the first Run sizes its buffers.
@@ -108,13 +131,15 @@ func (e *Engine) Run(cfg Config, machines []Machine, adv Adversary) (*Result, er
 }
 
 // drain releases every delivery still outstanding when the run ends —
-// events left in the wheel and deliveries never consumed from inboxes —
-// recycling their records and handing pooled payloads back to the
-// senders. Runs routinely end with messages in flight (the last halting
-// step's broadcast, at least), and without the drain those payload
-// buffers would leak out of their machines' pools, costing a fresh
-// allocation per lost buffer on the next trial. Draining has no
-// observable effect on the Result; it only settles buffer ownership.
+// events left in the wheel, deliveries never consumed from inboxes, and
+// whole delivery batches with their multicast chains and combined
+// knowledge caches — recycling the records and handing pooled payloads
+// back to the senders. Runs routinely end with messages in flight (the
+// last halting step's broadcast, at least), and without the drain those
+// payload buffers (and their snapshot delta chains) would leak out of
+// their machines' pools, costing a fresh allocation per lost buffer on
+// the next trial. Draining has no observable effect on the Result; it
+// only settles buffer ownership.
 func (e *Engine) drain() {
 	w := e.wheel
 	if w.events > 0 {
@@ -144,6 +169,13 @@ func (e *Engine) drain() {
 		clear(e.inbox[i])
 		e.inbox[i] = e.inbox[i][:0]
 	}
+	for idx := e.ringHead; idx < len(e.ringBuf); idx++ {
+		e.retireBatch(e.ringBuf[idx])
+		e.ringBuf[idx] = nil
+	}
+	e.ringBuf = e.ringBuf[:0]
+	e.ringHead = 0
+	e.ringSeq0 = e.batchSeq
 }
 
 // reset prepares the engine for a run, reallocating only the buffers
@@ -156,6 +188,8 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 		e.halted = make([]bool, p)
 		e.delays = make([]int64, p)
 		e.recyclers = make([]PayloadRecycler, p)
+		e.batchers = make([]BatchConsumer, p)
+		e.cursor = make([]int64, p)
 		e.allBut = make([]*bitset.Set, p)
 	} else {
 		for i := range e.inbox {
@@ -169,13 +203,14 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 		clear(e.halted)
 		// allBut depends only on p; keep the cached sets.
 	}
-	if len(e.done) != t {
-		e.done = make([]bool, t)
+	if e.tasks == nil {
+		e.tasks = NewTaskLedger(t)
 	} else {
-		clear(e.done)
+		e.tasks.Reset(t)
 	}
 	for i, m := range machines {
 		e.recyclers[i], _ = m.(PayloadRecycler)
+		e.batchers[i], _ = m.(BatchConsumer)
 	}
 	e.cfg = cfg
 	e.machines = machines
@@ -189,21 +224,33 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 	} else {
 		e.wheel.reset()
 	}
+	ia, ok := adv.(InboxAgnostic)
+	e.grouped = p > 1 && cfg.Observer == nil && ok && ia.InboxAgnostic()
+	// A drain (or a fresh engine) leaves the ring empty; defensively drop
+	// any leftovers without recycling — they could reference the previous
+	// run's machines.
+	for idx := e.ringHead; idx < len(e.ringBuf); idx++ {
+		e.ringBuf[idx] = nil
+	}
+	e.ringBuf = e.ringBuf[:0]
+	e.ringHead = 0
+	e.ringSeq0 = 0
+	e.batchSeq = 0
+	clear(e.cursor)
 	e.stopped = 0
-	e.undone = t
 	e.inflight = 0
 	e.idle = false
 	e.nextWake = 0
 	e.res.reset(p, t)
 	e.dec.reset()
 	e.view = View{
-		P:         p,
-		T:         t,
-		DoneTasks: e.done, // shared; adversaries must not mutate
-		Machines:  machines,
-		Inboxes:   e.inbox,
-		Crashed:   e.crashed,
-		Halted:    e.halted,
+		P:        p,
+		T:        t,
+		Tasks:    e.tasks, // shared; adversaries must not mutate
+		Machines: machines,
+		Inboxes:  e.inbox,
+		Crashed:  e.crashed,
+		Halted:   e.halted,
 	}
 }
 
@@ -242,7 +289,68 @@ func (e *Engine) recycleMC(mc *Multicast) {
 	}
 	mc.Payload = nil
 	mc.Recipients = nil
+	mc.outstanding = 0
 	e.freeMC = append(e.freeMC, mc)
+}
+
+// getBatch takes a delivery-batch record from the pool.
+func (e *Engine) getBatch() *Batch {
+	if n := len(e.freeBatch); n > 0 {
+		b := e.freeBatch[n-1]
+		e.freeBatch = e.freeBatch[:n-1]
+		return b
+	}
+	return &Batch{Builder: -1}
+}
+
+// retireBatch recycles a fully consumed batch: its multicast records (and
+// their payload chains) return to the senders, its combined knowledge
+// cache returns to the machine that built it.
+func (e *Engine) retireBatch(b *Batch) {
+	for k, mc := range b.MCs {
+		b.MCs[k] = nil
+		e.recycleMC(mc)
+	}
+	b.MCs = b.MCs[:0]
+	if b.Combined != nil {
+		if rc := e.recyclers[b.Builder]; rc != nil {
+			rc.RecyclePayload(b.Combined)
+		}
+		b.Combined = nil
+	}
+	b.Builder = -1
+	b.remaining = 0
+	e.freeBatch = append(e.freeBatch, b)
+}
+
+// popRetired pops fully consumed batches off the ring front. Batches
+// retire in ring order: consumers always consume prefix ranges and crash
+// decrements apply immediately, so an older batch's remaining count
+// reaches zero no later than a newer one's.
+func (e *Engine) popRetired() {
+	for e.ringHead < len(e.ringBuf) && e.ringBuf[e.ringHead].remaining == 0 {
+		e.retireBatch(e.ringBuf[e.ringHead])
+		e.ringBuf[e.ringHead] = nil
+		e.ringHead++
+		e.ringSeq0++
+	}
+	if e.ringHead == len(e.ringBuf) {
+		e.ringBuf = e.ringBuf[:0]
+		e.ringHead = 0
+	}
+}
+
+// dropBatches releases a crashed processor's claim on every batch it had
+// not consumed.
+func (e *Engine) dropBatches(i int) {
+	if e.cursor[i] < e.ringSeq0 {
+		e.cursor[i] = e.ringSeq0
+	}
+	for seq := e.cursor[i]; seq < e.batchSeq; seq++ {
+		e.ringBuf[e.ringHead+int(seq-e.ringSeq0)].remaining--
+	}
+	e.cursor[i] = e.batchSeq
+	e.popRetired()
 }
 
 // allButSet returns the cached recipient set {0..P-1} \ {i}.
@@ -259,7 +367,53 @@ func (e *Engine) allButSet(i int) *bitset.Set {
 	return e.allBut[i]
 }
 
-// deliver appends the due event's deliveries to the recipient inboxes.
+// deliverBucket routes one timing-wheel bucket's events. On the grouped
+// path a bucket of only uniform multicasts becomes one shared Batch —
+// O(multicasts) work regardless of p; a bucket containing any
+// per-recipient event (non-uniform delays, point-to-point sends) is
+// delivered eagerly, event by event, exactly like the ungrouped engine,
+// so grouped and eager deliveries never interleave within one time unit
+// and inbox ordering matches the legacy engine's.
+func (e *Engine) deliverBucket(evs []wevent, at int64) {
+	if e.grouped {
+		uniform := true
+		for _, ev := range evs {
+			if ev.to >= 0 {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			fanout := e.cfg.P - 1
+			consumers := int32(e.cfg.P - e.stopped)
+			if consumers == 0 {
+				// No live processor will ever consume these.
+				for _, ev := range evs {
+					e.inflight -= fanout
+					ev.mc.outstanding -= int32(fanout) - 1
+					e.release(ev.mc)
+				}
+				return
+			}
+			b := e.getBatch()
+			b.At = at
+			for _, ev := range evs {
+				e.inflight -= fanout
+				b.MCs = append(b.MCs, ev.mc)
+			}
+			b.remaining = consumers
+			e.ringBuf = append(e.ringBuf, b)
+			e.batchSeq++
+			return
+		}
+	}
+	for _, ev := range evs {
+		e.deliver(ev, at)
+	}
+}
+
+// deliver appends one due event's deliveries to the recipient inboxes
+// (the eager path).
 func (e *Engine) deliver(ev wevent, at int64) {
 	mc := ev.mc
 	if ev.to >= 0 {
@@ -301,16 +455,39 @@ func (e *Engine) deliverOne(mc *Multicast, j int, at int64) {
 	}
 }
 
+// materialize builds an ordinary inbox slice for a machine that does not
+// implement BatchConsumer: the processor's pending batches (minus its own
+// multicasts) interleaved with its per-recipient deliveries in delivery-
+// time order. Batches and per-recipient deliveries never share a time
+// unit, so ordering by At reproduces the eager path's inbox exactly.
+func (e *Engine) materialize(pend []*Batch, inbox []Delivery, i int) []Delivery {
+	sc := e.scratch[:0]
+	bi := 0
+	for _, b := range pend {
+		for bi < len(inbox) && inbox[bi].At < b.At {
+			sc = append(sc, inbox[bi])
+			bi++
+		}
+		for _, mc := range b.MCs {
+			if mc.From != i {
+				sc = append(sc, Delivery{MC: mc, At: b.At})
+			}
+		}
+	}
+	sc = append(sc, inbox[bi:]...)
+	e.scratch = sc
+	return sc
+}
+
 // tick advances one global time unit (mirrors legacyState.tick step for
 // step; any observable divergence is an engine bug).
 func (e *Engine) tick(now int64) {
 	// 1. Deliver messages due now (and any skipped over, defensively).
-	e.wheel.advanceTo(now, e.deliver)
+	e.wheel.advanceTo(now, e.deliverBucket)
 
 	// 2. Ask the adversary for this unit's schedule.
 	v := &e.view
 	v.Now = now
-	v.Undone = e.undone
 	v.InFlight = e.inflight
 	dec := &e.dec
 	dec.reset()
@@ -321,6 +498,9 @@ func (e *Engine) tick(now int64) {
 				e.stopped++
 			}
 			e.crashed[i] = true
+			if e.grouped {
+				e.dropBatches(i)
+			}
 			if e.obs != nil {
 				e.obs.OnCrash(i, now)
 			}
@@ -336,7 +516,27 @@ func (e *Engine) tick(now int64) {
 			continue
 		}
 		inbox := e.inbox[i]
-		r := e.machines[i].Step(now, inbox)
+		var pend []*Batch
+		if e.grouped && e.cursor[i] < e.batchSeq {
+			if e.cursor[i] < e.ringSeq0 {
+				e.cursor[i] = e.ringSeq0 // defensively; cannot happen for live processors
+			}
+			pend = e.ringBuf[e.ringHead+int(e.cursor[i]-e.ringSeq0):]
+		}
+		var r StepResult
+		if len(pend) > 0 {
+			if bc := e.batchers[i]; bc != nil {
+				r = bc.StepBatched(now, pend, inbox)
+			} else {
+				r = e.machines[i].Step(now, e.materialize(pend, inbox, i))
+			}
+			e.cursor[i] = e.batchSeq
+			for _, b := range pend {
+				b.remaining--
+			}
+		} else {
+			r = e.machines[i].Step(now, inbox)
+		}
 		// The machine consumed its inbox: drop the delivery references
 		// (recycling records whose last recipient this was) and reuse the
 		// backing array for future deliveries. The stale entries beyond
@@ -372,9 +572,7 @@ func (e *Engine) tick(now int64) {
 			} else {
 				e.res.SecondaryExecutions++
 			}
-			if !e.done[z] {
-				e.done[z] = true
-				e.undone--
+			if e.tasks.MarkDone(z) {
 				e.res.FirstDoneAt[z] = now
 			}
 		}
@@ -411,18 +609,23 @@ func (e *Engine) tick(now int64) {
 				e.stopped++
 			}
 			e.halted[i] = true
-			if !e.res.Solved && !(e.undone == 0 && e.machines[i].KnowsAllDone()) {
+			if !e.res.Solved && !(e.tasks.Undone() == 0 && e.machines[i].KnowsAllDone()) {
 				e.res.HaltedEarly = true
 			}
 		}
-		if e.undone == 0 && e.machines[i].KnowsAllDone() {
+		if e.tasks.Undone() == 0 && e.machines[i].KnowsAllDone() {
 			informed = true
 		}
 	}
 	e.idle = stepped == 0
+	if e.grouped {
+		// Retire batches whose last consumer stepped this unit (deferred
+		// off the per-step path: retirement only triggers once per batch).
+		e.popRetired()
+	}
 
 	// 4. Solved check: all tasks done and some live processor informed.
-	if !e.res.Solved && e.undone == 0 {
+	if !e.res.Solved && e.tasks.Undone() == 0 {
 		if !informed {
 			for i, m := range e.machines {
 				if !e.crashed[i] && m.KnowsAllDone() {

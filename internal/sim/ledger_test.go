@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTaskLedgerBasics(t *testing.T) {
+	l := NewTaskLedger(100)
+	if l.Len() != 100 || l.Undone() != 100 {
+		t.Fatalf("fresh ledger: len=%d undone=%d", l.Len(), l.Undone())
+	}
+	if !l.MarkDone(7) || l.MarkDone(7) {
+		t.Fatal("MarkDone first/repeat semantics broken")
+	}
+	if !l.Done(7) || l.Done(8) || l.Undone() != 99 {
+		t.Fatalf("after one mark: done(7)=%v done(8)=%v undone=%d", l.Done(7), l.Done(8), l.Undone())
+	}
+}
+
+func TestTaskLedgerNextUndoneSkipsDoneChunks(t *testing.T) {
+	// Three chunks' worth of tasks; the middle chunk fully done.
+	n := 3 * ledgerChunkWords * 64
+	l := NewTaskLedger(n)
+	lo, hi := ledgerChunkWords*64, 2*ledgerChunkWords*64
+	for z := lo; z < hi; z++ {
+		l.MarkDone(z)
+	}
+	if got := l.NextUndone(lo); got != hi {
+		t.Fatalf("NextUndone(%d) = %d, want %d (skip the done chunk)", lo, got, hi)
+	}
+	l.MarkDone(0)
+	if got := l.NextUndone(0); got != 1 {
+		t.Fatalf("NextUndone(0) = %d, want 1", got)
+	}
+	if got := l.NextUndone(n - 1); got != n-1 {
+		t.Fatalf("NextUndone(last) = %d, want %d", got, n-1)
+	}
+	l.MarkDone(n - 1)
+	if got := l.NextUndone(n - 1); got != -1 {
+		t.Fatalf("NextUndone past all = %d, want -1", got)
+	}
+}
+
+func TestTaskLedgerMatchesBoolSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 63, 64, 65, 4096, 4097, 9000} {
+		l := NewTaskLedger(n)
+		ref := make([]bool, n)
+		undone := n
+		for i := 0; i < 3*n; i++ {
+			z := rng.Intn(n)
+			first := !ref[z]
+			if first {
+				ref[z] = true
+				undone--
+			}
+			if got := l.MarkDone(z); got != first {
+				t.Fatalf("n=%d MarkDone(%d) = %v, want %v", n, z, got, first)
+			}
+			if l.Undone() != undone {
+				t.Fatalf("n=%d undone=%d, want %d", n, l.Undone(), undone)
+			}
+		}
+		// NextUndone must enumerate exactly the undone reference entries.
+		want := -1
+		for z := 0; z < n; z++ {
+			if !ref[z] {
+				want = z
+				break
+			}
+		}
+		if got := l.NextUndone(0); got != want {
+			t.Fatalf("n=%d NextUndone(0)=%d want %d", n, got, want)
+		}
+		l.Reset(n)
+		if l.Undone() != n || l.Done(0) {
+			t.Fatalf("n=%d reset failed", n)
+		}
+	}
+}

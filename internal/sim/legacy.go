@@ -24,7 +24,7 @@ func RunLegacy(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 		pending:  newDelayQueue(),
 		crashed:  make([]bool, cfg.P),
 		halted:   make([]bool, cfg.P),
-		done:     make([]bool, cfg.T),
+		tasks:    NewTaskLedger(cfg.T),
 		res: &Result{
 			SolvedAt:    -1,
 			PerProcWork: make([]int64, cfg.P),
@@ -76,11 +76,9 @@ type legacyState struct {
 	pending  *delayQueue
 	crashed  []bool
 	halted   []bool
-	done     []bool
-	undone   int
+	tasks    *TaskLedger
 	res      *Result
 	dec      Decision
-	inited   bool
 }
 
 func (s *legacyState) allStopped() bool {
@@ -94,11 +92,6 @@ func (s *legacyState) allStopped() bool {
 
 // tick advances one global time unit.
 func (s *legacyState) tick(now int64) {
-	if !s.inited {
-		s.undone = s.cfg.T
-		s.inited = true
-	}
-
 	// 1. Deliver messages due now (or earlier, defensively). Each queued
 	// Message is wrapped in its own single-recipient Multicast record —
 	// the per-message allocations are exactly what makes this engine the
@@ -112,16 +105,15 @@ func (s *legacyState) tick(now int64) {
 
 	// 2. Ask the adversary for this unit's schedule.
 	v := &View{
-		Now:       now,
-		P:         s.cfg.P,
-		T:         s.cfg.T,
-		DoneTasks: s.done, // shared; adversaries must not mutate
-		Undone:    s.undone,
-		Machines:  s.machines,
-		Inboxes:   s.inbox,
-		Crashed:   s.crashed,
-		Halted:    s.halted,
-		InFlight:  s.pending.len(),
+		Now:      now,
+		P:        s.cfg.P,
+		T:        s.cfg.T,
+		Tasks:    s.tasks, // shared; adversaries must not mutate
+		Machines: s.machines,
+		Inboxes:  s.inbox,
+		Crashed:  s.crashed,
+		Halted:   s.halted,
+		InFlight: s.pending.len(),
 	}
 	s.dec.reset()
 	dec := &s.dec
@@ -158,9 +150,7 @@ func (s *legacyState) tick(now int64) {
 			} else {
 				s.res.SecondaryExecutions++
 			}
-			if !s.done[z] {
-				s.done[z] = true
-				s.undone--
+			if s.tasks.MarkDone(z) {
 				s.res.FirstDoneAt[z] = now
 			}
 		}
@@ -207,17 +197,17 @@ func (s *legacyState) tick(now int64) {
 
 		if r.Halt {
 			s.halted[i] = true
-			if !s.res.Solved && !(s.undone == 0 && s.machines[i].KnowsAllDone()) {
+			if !s.res.Solved && !(s.tasks.Undone() == 0 && s.machines[i].KnowsAllDone()) {
 				s.res.HaltedEarly = true
 			}
 		}
-		if s.undone == 0 && s.machines[i].KnowsAllDone() {
+		if s.tasks.Undone() == 0 && s.machines[i].KnowsAllDone() {
 			informed = true
 		}
 	}
 
 	// 4. Solved check: all tasks done and some live processor informed.
-	if !s.res.Solved && s.undone == 0 {
+	if !s.res.Solved && s.tasks.Undone() == 0 {
 		if !informed {
 			for i, m := range s.machines {
 				if !s.crashed[i] && m.KnowsAllDone() {

@@ -219,22 +219,83 @@ type View struct {
 	Now int64
 	// P is the number of processors; T the number of tasks.
 	P, T int
-	// DoneTasks[z] reports whether task z has been performed by anyone.
-	DoneTasks []bool
-	// Undone is the number of tasks not yet performed.
-	Undone int
+	// Tasks is the chunked global done-task ledger: which tasks anyone has
+	// performed, how many remain, with skip-scanning over done regions.
+	// Read-only for adversaries.
+	Tasks *TaskLedger
 	// Machines exposes processor state for intent probing and cloning.
 	// Adversaries must not call Step on these.
 	Machines []Machine
-	// Inboxes[i] holds the deliveries made to processor i but not yet
-	// consumed by a step. Adversaries must treat them as read-only; the
-	// off-line lower-bound adversary copies them into machine clones when
-	// looking a stage ahead.
+	// Inboxes[i] holds the per-recipient deliveries made to processor i
+	// but not yet consumed by a step. Adversaries must treat them as
+	// read-only; the off-line lower-bound adversary copies them into
+	// machine clones when looking a stage ahead. Under the multicast
+	// engine's grouped delivery path, pending uniform multicasts live in
+	// shared delivery groups instead of per-recipient inboxes — that path
+	// is only enabled for adversaries that declare themselves
+	// InboxAgnostic, so adversaries that read Inboxes always see every
+	// pending delivery here.
 	Inboxes [][]Delivery
 	// Crashed[i] and Halted[i] report processor i's status.
 	Crashed, Halted []bool
 	// InFlight is the number of undelivered messages.
 	InFlight int
+}
+
+// Undone returns the number of tasks not yet performed by anyone
+// (shorthand for Tasks.Undone()).
+func (v *View) Undone() int { return v.Tasks.Undone() }
+
+// InboxAgnostic is an optional Adversary extension declaring that the
+// adversary never reads View.Inboxes. The multicast engine enables its
+// grouped delivery path — one shared delivery group per time unit of
+// uniform multicasts instead of p-1 per-recipient inbox appends — only
+// for adversaries that return true, because grouped pending deliveries
+// are not visible in View.Inboxes. Combinators forward the question to
+// their inner adversary.
+type InboxAgnostic interface {
+	InboxAgnostic() bool
+}
+
+// Batch is one shared delivery group of the multicast engine's grouped
+// path: every uniform multicast delivered at one time unit, stored once
+// and consumed by reference by every live processor. Recipients skip
+// multicasts they sent themselves.
+//
+// Combined is the batch's shared knowledge cache: the first consuming
+// machine that understands the payloads may fold the batch's whole new
+// knowledge into one accumulated structure and publish it here (setting
+// Builder to its pid), so every later consumer pays one merge instead of
+// one per sender. The engine returns Combined to the builder machine via
+// its PayloadRecycler hook when the batch is retired. Machines that use
+// the cache must treat published Combined values as immutable.
+type Batch struct {
+	// At is the delivery time shared by every multicast in the batch.
+	At int64
+	// MCs are the delivered multicasts in delivery order.
+	MCs []*Multicast
+	// Combined is the machine-built shared knowledge cache (nil until a
+	// consumer builds it); Builder is the pid whose machine owns its
+	// buffers, -1 while unset.
+	Combined any
+	Builder  int32
+	// remaining counts live processors that have not yet consumed the
+	// batch; the engine retires the batch when it reaches zero.
+	remaining int32
+}
+
+// BatchConsumer is an optional Machine extension for the grouped delivery
+// path: StepBatched is Step with the pending deliveries presented as
+// shared delivery groups (batches, oldest first) plus any per-recipient
+// deliveries (tail). It must be semantically identical to calling Step
+// with the same deliveries materialized in time order; implementations
+// must therefore be merge-order-insensitive (the algorithms' monotone
+// knowledge unions are). Machines that do not implement the interface
+// still run under the grouped engine — their batches are materialized
+// into an ordinary inbox slice.
+type BatchConsumer interface {
+	Machine
+	StepBatched(now int64, batches []*Batch, tail []Delivery) StepResult
 }
 
 // Decision is the adversary's scheduling choice for one time unit. The

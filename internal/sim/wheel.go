@@ -102,10 +102,14 @@ func (w *wheel) push(ev wevent, at int64) {
 	w.overdue = append(w.overdue, at)
 }
 
-// advanceTo moves the cursor to now, invoking fn(ev, t) for every event
-// due at each time t in (cur, now], in bucket order. fn must not push
-// new events (the engine only pushes during steps, after advanceTo).
-func (w *wheel) advanceTo(now int64, fn func(ev wevent, at int64)) {
+// advanceTo moves the cursor to now, invoking fn(evs, t) once per
+// non-empty bucket due at each time t in (cur, now], handing the whole
+// bucket in push (FIFO) order — bucket granularity is what lets the
+// engine turn an all-uniform bucket into one shared delivery batch. fn
+// must not push new events (the engine only pushes during steps, after
+// advanceTo) and must not retain evs, which is cleared and reused after
+// fn returns.
+func (w *wheel) advanceTo(now int64, fn func(evs []wevent, at int64)) {
 	if w.events == 0 {
 		w.cur = now
 		return
@@ -121,10 +125,8 @@ func (w *wheel) advanceTo(now int64, fn func(ev wevent, at int64)) {
 		if len(b) == 0 {
 			continue
 		}
-		for _, ev := range b {
-			w.events--
-			fn(ev, w.cur)
-		}
+		w.events -= len(b)
+		fn(b, w.cur)
 		clear(b) // release *Multicast references for GC
 		w.buckets[slot] = b[:0]
 		if w.events == 0 {

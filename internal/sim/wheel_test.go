@@ -12,8 +12,10 @@ type delivery struct {
 
 func collect(w *wheel, to int64) []delivery {
 	var out []delivery
-	w.advanceTo(to, func(ev wevent, at int64) {
-		out = append(out, delivery{at: at, payload: ev.mc.Payload})
+	w.advanceTo(to, func(evs []wevent, at int64) {
+		for _, ev := range evs {
+			out = append(out, delivery{at: at, payload: ev.mc.Payload})
+		}
 	})
 	return out
 }
@@ -119,7 +121,7 @@ func TestWheelFastForwardSkipsEmptyStretch(t *testing.T) {
 	// A big jump with an empty wheel must be O(1), not O(jump): the
 	// cursor snaps forward without touching buckets.
 	w := newWheel(8)
-	w.advanceTo(1_000_000_000, func(wevent, int64) { t.Fatal("no events exist") })
+	w.advanceTo(1_000_000_000, func([]wevent, int64) { t.Fatal("no events exist") })
 	if w.cur != 1_000_000_000 {
 		t.Fatalf("cursor = %d", w.cur)
 	}
@@ -151,17 +153,19 @@ func TestWheelOverflowPreservesSendOrderAtHorizonBoundary(t *testing.T) {
 	w.push(wevent{mc: early, to: 0}, at)
 	// Advance to just before migration would trigger, then push the
 	// later-sent event, which now sits exactly horizon units out.
-	w.advanceTo(lead, func(ev wevent, _ int64) {
-		t.Fatalf("premature delivery of %+v", ev)
+	w.advanceTo(lead, func(evs []wevent, _ int64) {
+		t.Fatalf("premature delivery of %+v", evs)
 	})
 	w.push(wevent{mc: late, to: 0}, at)
 
 	var order []int
-	w.advanceTo(at, func(ev wevent, deliveredAt int64) {
+	w.advanceTo(at, func(evs []wevent, deliveredAt int64) {
 		if deliveredAt != at {
 			t.Fatalf("delivered at %d, want %d", deliveredAt, at)
 		}
-		order = append(order, ev.mc.From)
+		for _, ev := range evs {
+			order = append(order, ev.mc.From)
+		}
 	})
 	if !reflect.DeepEqual(order, []int{1, 2}) {
 		t.Fatalf("delivery order %v, want [1 2] (send order)", order)

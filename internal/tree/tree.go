@@ -25,6 +25,19 @@ type Tree struct {
 	size   int
 	// done is the packed node bit array; bit 0 is the root.
 	done *bitset.Set
+	// vers, when non-nil, is the epoch-versioned view over the same bits:
+	// every mutation routes through it so its dirty-word tracking sees the
+	// change, and DA's TreeSnapshot payloads are its versioned snapshots.
+	vers *bitset.Versioned
+}
+
+// setBit marks node n, through the versioned set when attached.
+func (t *Tree) setBit(n int) {
+	if t.vers != nil {
+		t.vers.Set(n)
+	} else {
+		t.done.Set(n)
+	}
 }
 
 // New creates a progress tree with arity q and q^height leaves, all nodes
@@ -44,6 +57,41 @@ func New(q, height int) *Tree {
 	size := (leaves*q - 1) / (q - 1)
 	return &Tree{q: q, height: height, leaves: leaves, size: size, done: bitset.New(size)}
 }
+
+// NewVersioned creates a progress tree whose node bits are an
+// epoch-versioned set: snapshots share structure (base + delta chain)
+// instead of copying all nodes, which is what makes DA's per-broadcast
+// TreeSnapshot O(changed words). The returned Versioned is the tree's
+// mutation log; Versioned().Snapshot() captures the payload.
+func NewVersioned(q, height int) *Tree {
+	t := New(q, height)
+	t.vers = bitset.NewVersioned(t.size)
+	t.done = t.vers.Bits()
+	return t
+}
+
+// NewForTasksVersioned is NewForTasks over a versioned tree.
+func NewForTasksVersioned(q, tasks int) (*Tree, int) {
+	if tasks < 1 {
+		panic("tree: need at least one task")
+	}
+	h := 0
+	leaves := 1
+	for leaves < tasks {
+		leaves *= q
+		h++
+	}
+	tr := NewVersioned(q, h)
+	pad := leaves - tasks
+	for i := tasks; i < leaves; i++ {
+		tr.MarkLeaf(i)
+	}
+	return tr, pad
+}
+
+// Versioned returns the tree's epoch-versioned bit set, or nil for a
+// plain tree.
+func (t *Tree) Versioned() *bitset.Versioned { return t.vers }
 
 // NewForTasks returns a tree of arity q with at least t leaves (the
 // smallest power of q ≥ t), plus the number of padded "dummy" leaves that
@@ -126,13 +174,13 @@ func (t *Tree) Done(n int) bool { return t.done.Get(n) }
 func (t *Tree) AllDone() bool { return t.done.Get(0) }
 
 // Mark sets node n to done. Marking is monotone; re-marking is a no-op.
-func (t *Tree) Mark(n int) { t.done.Set(n) }
+func (t *Tree) Mark(n int) { t.setBit(n) }
 
 // MarkLeaf marks the i-th leaf done and propagates upward: any interior
 // node all of whose children are done is marked as well.
 func (t *Tree) MarkLeaf(i int) {
 	n := t.LeafNode(i)
-	t.done.Set(n)
+	t.setBit(n)
 	t.propagate(t.Parent(n))
 }
 
@@ -153,10 +201,17 @@ func (t *Tree) propagate(n int) {
 		if !all {
 			return
 		}
-		t.done.Set(n)
+		t.setBit(n)
 		n = t.Parent(n)
 	}
 }
+
+// PropagateUp restores the interior-closure invariant upward from node n
+// after n was externally marked (a merged snapshot bit): each ancestor
+// whose children are now all done is marked, stopping at the first that
+// is not. Cost is O(q·height) worst case but stops early, so applying a
+// delta costs new-knowledge work, unlike the O(size) full recompute.
+func (t *Tree) PropagateUp(n int) { t.propagate(t.Parent(n)) }
 
 // Merge ORs the other tree's bits into t and then restores the invariant
 // that every interior node whose children are all done is itself done.
@@ -166,8 +221,17 @@ func (t *Tree) Merge(other *Tree) {
 	if other.q != t.q || other.height != t.height {
 		panic("tree: Merge of trees with different shape")
 	}
-	t.done.UnionWith(other.done)
+	t.union(other.done)
 	t.recompute()
+}
+
+// union ORs raw bits in, through the versioned set when attached.
+func (t *Tree) union(bits *bitset.Set) {
+	if t.vers != nil {
+		t.vers.UnionWith(bits)
+	} else {
+		t.done.UnionWith(bits)
+	}
 }
 
 // MergeSet ORs a raw bit snapshot (as produced by SnapshotSet) into the
@@ -176,7 +240,7 @@ func (t *Tree) MergeSet(bits *bitset.Set) {
 	if bits.Len() != t.size {
 		panic("tree: MergeSet length mismatch")
 	}
-	t.done.UnionWith(bits)
+	t.union(bits)
 	t.recompute()
 }
 
@@ -185,7 +249,7 @@ func (t *Tree) MergeBits(bits []bool) {
 	if len(bits) != t.size {
 		panic("tree: MergeBits length mismatch")
 	}
-	t.done.UnionWith(bitset.FromBools(bits))
+	t.union(bitset.FromBools(bits))
 	t.recompute()
 }
 
@@ -204,7 +268,7 @@ func (t *Tree) recompute() {
 			}
 		}
 		if all {
-			t.done.Set(n)
+			t.setBit(n)
 		}
 	}
 }
@@ -225,16 +289,26 @@ func (t *Tree) SnapshotInto(dst *bitset.Set) { dst.CopyFrom(t.done) }
 // (with upward propagation). It allocates nothing, so trial loops can
 // reuse one tree.
 func (t *Tree) ResetPadded(tasks int) {
-	t.done.ClearAll()
+	if t.vers != nil {
+		t.vers.Reset()
+	} else {
+		t.done.ClearAll()
+	}
 	for i := tasks; i < t.leaves; i++ {
 		t.MarkLeaf(i)
 	}
 }
 
-// Clone returns a deep copy of the tree.
+// Clone returns a deep copy of the tree (including the versioned view,
+// when attached; the clone's snapshot pools start empty).
 func (t *Tree) Clone() *Tree {
 	c := *t
-	c.done = t.done.Clone()
+	if t.vers != nil {
+		c.vers = t.vers.Clone()
+		c.done = c.vers.Bits()
+	} else {
+		c.done = t.done.Clone()
+	}
 	return &c
 }
 

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"doall/internal/bitset"
 )
 
 func TestNewShape(t *testing.T) {
@@ -261,5 +263,74 @@ func TestQuickMergeIsUnion(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestVersionedTreeMatchesPlain drives identical mark/merge sequences
+// through a plain tree and a versioned one: node bits must stay equal,
+// and the versioned tree's snapshots must materialize them exactly.
+func TestVersionedTreeMatchesPlain(t *testing.T) {
+	plain, padP := NewForTasks(3, 14)
+	vers, padV := NewForTasksVersioned(3, 14)
+	if padP != padV {
+		t.Fatalf("padding differs: %d vs %d", padP, padV)
+	}
+	if vers.Versioned() == nil || plain.Versioned() != nil {
+		t.Fatal("Versioned() wiring wrong")
+	}
+	order := []int{0, 5, 2, 9, 13, 1, 7, 3, 11, 6, 12, 4, 10, 8}
+	for i, leaf := range order {
+		plain.MarkLeaf(leaf)
+		vers.MarkLeaf(leaf)
+		snap := vers.Versioned().Snapshot()
+		got := bitset.New(vers.Size())
+		snap.Materialize(got)
+		for n := 0; n < plain.Size(); n++ {
+			if plain.Done(n) != vers.Done(n) {
+				t.Fatalf("step %d: node %d plain=%v versioned=%v", i, n, plain.Done(n), vers.Done(n))
+			}
+			if got.Get(n) != vers.Done(n) {
+				t.Fatalf("step %d: snapshot bit %d = %v, tree = %v", i, n, got.Get(n), vers.Done(n))
+			}
+		}
+		if inv := vers.CheckInvariant(); inv != -1 {
+			t.Fatalf("step %d: closure invariant violated at %d", i, inv)
+		}
+		vers.Versioned().Recycle(snap)
+	}
+	if !vers.AllDone() {
+		t.Fatal("versioned tree did not close the root")
+	}
+	vers.ResetPadded(14)
+	if vers.AllDone() || vers.Versioned().Ver() != 0 {
+		t.Fatal("ResetPadded did not restart the versioned tree")
+	}
+}
+
+// TestPropagateUpEqualsRecompute checks the delta-merge closure path:
+// marking an arbitrary node then propagating upward must match a full
+// bottom-up recompute on a copy.
+func TestPropagateUpEqualsRecompute(t *testing.T) {
+	tr := New(2, 3)
+	// Mark all leaves under the root's left child, leaf nodes directly
+	// (as a merged snapshot would), then propagate from each.
+	ref := tr.Clone()
+	for i := 0; i < 4; i++ {
+		n := tr.LeafNode(i)
+		tr.Mark(n)
+		tr.PropagateUp(n)
+		ref.Mark(n)
+	}
+	ref.MergeSet(bitset.New(ref.Size())) // force a recompute pass
+	for n := 0; n < tr.Size(); n++ {
+		if tr.Done(n) != ref.Done(n) {
+			t.Fatalf("node %d: propagate=%v recompute=%v", n, tr.Done(n), ref.Done(n))
+		}
+	}
+	if tr.Done(tr.Root()) {
+		t.Fatal("root closed with only half the leaves done")
+	}
+	if !tr.Done(tr.Child(tr.Root(), 0)) {
+		t.Fatal("left subtree not closed by propagation")
 	}
 }

@@ -23,11 +23,21 @@ type Kind uint8
 
 // Payload kinds.
 const (
-	// KindTree is a DA progress-tree snapshot (bits = tree nodes).
+	// KindTree is a full DA progress-tree snapshot (bits = tree nodes).
 	KindTree Kind = 1
-	// KindDoneSet is a PA done-job set (bits = jobs).
+	// KindDoneSet is a full PA done-job set (bits = jobs).
 	KindDoneSet Kind = 2
+	// KindTreeDelta is a versioned DA progress-tree delta: only the words
+	// that changed since the sender's previous snapshot, plus the version
+	// pair receivers use to detect gaps. Rebased snapshots fall back to
+	// KindTree, so the full kinds stay in active use (and decodable).
+	KindTreeDelta Kind = 3
+	// KindDoneSetDelta is the versioned PA done-set delta.
+	KindDoneSetDelta Kind = 4
 )
+
+// DeltaKind reports whether k is one of the sparse delta kinds.
+func DeltaKind(k Kind) bool { return k == KindTreeDelta || k == KindDoneSetDelta }
 
 const version = 1
 
@@ -35,8 +45,9 @@ const version = 1
 type encoding uint8
 
 const (
-	encRaw encoding = 0 // words verbatim
-	encRLE encoding = 1 // run-length encoded words
+	encRaw   encoding = 0 // words verbatim
+	encRLE   encoding = 1 // run-length encoded words
+	encDelta encoding = 2 // sparse (index, word) delta entries
 )
 
 // ErrCorrupt is returned for malformed messages.
@@ -182,4 +193,112 @@ func uvarintLen(v uint64) int {
 		n++
 	}
 	return n
+}
+
+// DeltaMessage is the decoded form of a sparse delta payload: the changed
+// words of one snapshot version, plus the (Ver, BaseVer) pair receivers
+// use to detect version gaps (a receiver whose cursor for the sender is
+// older than BaseVer must request or await a full snapshot instead of
+// applying the delta).
+type DeltaMessage struct {
+	Kind    Kind
+	N       int // capacity of the underlying bit set, in bits
+	Ver     int64
+	BaseVer int64
+	Words   []bitset.DeltaWord
+}
+
+// EncodeDelta serializes a sparse delta payload: header (version, kind,
+// encDelta, n), the version pair, and (index, word) entries.
+func EncodeDelta(kind Kind, n int, ver, baseVer int64, delta []bitset.DeltaWord) []byte {
+	if !DeltaKind(kind) {
+		panic("wire: EncodeDelta with a full-snapshot kind")
+	}
+	out := make([]byte, 0, SizeDelta(kind, n, ver, baseVer, delta))
+	out = append(out, version, byte(kind), byte(encDelta))
+	out = binary.AppendUvarint(out, uint64(n))
+	out = binary.AppendUvarint(out, uint64(ver))
+	out = binary.AppendUvarint(out, uint64(baseVer))
+	out = binary.AppendUvarint(out, uint64(len(delta)))
+	for _, dw := range delta {
+		out = binary.AppendUvarint(out, uint64(dw.Index))
+		out = binary.LittleEndian.AppendUint64(out, dw.Word)
+	}
+	return out
+}
+
+// SizeDelta returns len(EncodeDelta(...)) without allocating — the
+// arithmetic size the simulator's byte accounting queries once per
+// multicast.
+func SizeDelta(kind Kind, n int, ver, baseVer int64, delta []bitset.DeltaWord) int {
+	sz := 3 + uvarintLen(uint64(n)) + uvarintLen(uint64(ver)) + uvarintLen(uint64(baseVer)) + uvarintLen(uint64(len(delta)))
+	for _, dw := range delta {
+		sz += uvarintLen(uint64(dw.Index)) + 8
+	}
+	return sz
+}
+
+// DecodeDelta parses a message produced by EncodeDelta.
+func DecodeDelta(msg []byte) (DeltaMessage, error) {
+	var dm DeltaMessage
+	if len(msg) < 4 {
+		return dm, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if msg[0] != version {
+		return dm, fmt.Errorf("%w: version %d", ErrCorrupt, msg[0])
+	}
+	dm.Kind = Kind(msg[1])
+	if !DeltaKind(dm.Kind) {
+		return dm, fmt.Errorf("%w: kind %d is not a delta kind", ErrCorrupt, msg[1])
+	}
+	if encoding(msg[2]) != encDelta {
+		return dm, fmt.Errorf("%w: encoding %d for delta kind", ErrCorrupt, msg[2])
+	}
+	rest := msg[3:]
+	fields := []*uint64{new(uint64), new(uint64), new(uint64), new(uint64)}
+	for _, f := range fields {
+		v, c := binary.Uvarint(rest)
+		if c <= 0 {
+			return dm, fmt.Errorf("%w: truncated delta header", ErrCorrupt)
+		}
+		*f, rest = v, rest[c:]
+	}
+	n, ver, baseVer, count := *fields[0], *fields[1], *fields[2], *fields[3]
+	if n > 1<<40 || count > (n+63)/64 {
+		return dm, fmt.Errorf("%w: bad delta length", ErrCorrupt)
+	}
+	dm.N, dm.Ver, dm.BaseVer = int(n), int64(ver), int64(baseVer)
+	nWords := (dm.N + 63) / 64
+	dm.Words = make([]bitset.DeltaWord, 0, count)
+	for k := uint64(0); k < count; k++ {
+		idx, c := binary.Uvarint(rest)
+		if c <= 0 || idx >= uint64(nWords) {
+			return dm, fmt.Errorf("%w: bad delta index", ErrCorrupt)
+		}
+		rest = rest[c:]
+		if len(rest) < 8 {
+			return dm, fmt.Errorf("%w: truncated delta word", ErrCorrupt)
+		}
+		dm.Words = append(dm.Words, bitset.DeltaWord{Index: int32(idx), Word: binary.LittleEndian.Uint64(rest)})
+		rest = rest[8:]
+	}
+	if len(rest) != 0 {
+		return dm, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return dm, nil
+}
+
+// SizeEmpty returns the encoded size of a full snapshot of n bits that
+// are all zero (the Encode output for a fresh set), without building the
+// set: the RLE body is one run covering every word.
+func SizeEmpty(kind Kind, n int) int {
+	nWords := (n + 63) / 64
+	if nWords == 0 {
+		return 3 + uvarintLen(uint64(n))
+	}
+	rle := uvarintLen(uint64(nWords)) + 8
+	if raw := 8 * nWords; raw < rle {
+		rle = raw
+	}
+	return 3 + uvarintLen(uint64(n)) + rle
 }

@@ -173,3 +173,70 @@ func TestSizeAllocationFree(t *testing.T) {
 		t.Fatalf("Size allocates %v times per call, want 0", allocs)
 	}
 }
+
+func TestDeltaRoundTrip(t *testing.T) {
+	words := []bitset.DeltaWord{{Index: 0, Word: 0x5}, {Index: 3, Word: 1 << 63}, {Index: 130, Word: 42}}
+	msg := EncodeDelta(KindDoneSetDelta, 130*64+7, 17, 12, words)
+	if got, want := len(msg), SizeDelta(KindDoneSetDelta, 130*64+7, 17, 12, words); got != want {
+		t.Fatalf("SizeDelta = %d, encoded length %d", want, got)
+	}
+	dm, err := DecodeDelta(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Kind != KindDoneSetDelta || dm.N != 130*64+7 || dm.Ver != 17 || dm.BaseVer != 12 {
+		t.Fatalf("header round trip lost data: %+v", dm)
+	}
+	if len(dm.Words) != len(words) {
+		t.Fatalf("words %d, want %d", len(dm.Words), len(words))
+	}
+	for i, w := range words {
+		if dm.Words[i] != w {
+			t.Fatalf("word %d = %+v, want %+v", i, dm.Words[i], w)
+		}
+	}
+}
+
+func TestDeltaEmptyRoundTrip(t *testing.T) {
+	msg := EncodeDelta(KindTreeDelta, 64, 3, 0, nil)
+	dm, err := DecodeDelta(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Kind != KindTreeDelta || len(dm.Words) != 0 || dm.Ver != 3 {
+		t.Fatalf("empty delta round trip: %+v", dm)
+	}
+}
+
+func TestDecodeDeltaRejectsCorrupt(t *testing.T) {
+	good := EncodeDelta(KindTreeDelta, 256, 5, 2, []bitset.DeltaWord{{Index: 1, Word: 9}})
+	cases := map[string][]byte{
+		"short":          good[:2],
+		"bad version":    append([]byte{99}, good[1:]...),
+		"full kind":      {version, byte(KindTree), 2, 1},
+		"bad encoding":   {version, byte(KindTreeDelta), 0, 1},
+		"truncated word": good[:len(good)-3],
+		"trailing":       append(append([]byte{}, good...), 0),
+	}
+	for name, msg := range cases {
+		if _, err := DecodeDelta(msg); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Old full kinds must remain decodable by Decode.
+	s := bitset.New(100)
+	s.Set(7)
+	kind, got, err := Decode(Encode(KindTree, s))
+	if err != nil || kind != KindTree || !got.Equal(s) {
+		t.Fatalf("full kind no longer decodes: kind=%v err=%v", kind, err)
+	}
+}
+
+func TestSizeEmptyMatchesEncode(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 1 << 16} {
+		s := bitset.New(n)
+		if got, want := SizeEmpty(KindDoneSet, n), len(Encode(KindDoneSet, s)); got != want {
+			t.Fatalf("SizeEmpty(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

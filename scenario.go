@@ -1,6 +1,7 @@
 package doall
 
 import (
+	"doall/internal/bounds"
 	"doall/internal/harness"
 	"doall/internal/scenario"
 	"doall/internal/sim"
@@ -117,6 +118,23 @@ func RunSweep(c SweepConfig) []SweepCell { return harness.RunSweep(c) }
 
 // NewSweepReport runs the sweep and wraps it for serialization.
 func NewSweepReport(c SweepConfig) SweepReport { return harness.NewSweepReport(c) }
+
+// EstimateSweepMemory returns a rough upper estimate, in bytes, of the
+// steady-state heap the sweep needs: the per-worker estimate of the
+// grid's largest (p, t, d) shape times the concurrent worker count.
+// cmd/experiments -maxmem compares it against a budget and fails fast
+// instead of OOMing mid-sweep; the estimate deliberately over-
+// approximates pools and in-flight snapshot chains.
+func EstimateSweepMemory(c SweepConfig) int64 { return scenario.EstimateSweepBytes(c) }
+
+// TheoryBounds exposes the paper's closed-form complexity curves at one
+// shape: the Ω(t + p·min{d,t}·log_{d+1}(d+t)) lower bound of Theorems
+// 3.1/3.4, the DA(q) upper bound of Theorem 5.5 at ε, and the PA upper
+// bound of Theorems 6.2/6.3 — the same values SweepConfig.Theory adds to
+// sweep cells.
+func TheoryBounds(p, t, d int, eps float64) (lower, daUpper, paUpper float64) {
+	return bounds.LowerBound(p, t, d), bounds.DAUpperBound(p, t, d, eps), bounds.PAUpperBound(p, t, d)
+}
 
 // Experiment tables: the paper's evaluation (E1–E10) as formatted tables.
 type (
