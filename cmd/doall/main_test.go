@@ -87,6 +87,56 @@ func TestRunSlowSetAndCrashingEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunFaultPlaneEndToEnd drives the crash-restart and omission
+// adversaries through the CLI, including the documented
+// 'restarting(fair, down=64)' form, and asserts byte-identical repeat
+// runs (the CLI's determinism contract for fixed seeds).
+func TestRunFaultPlaneEndToEnd(t *testing.T) {
+	for _, adv := range []string{
+		"restarting(fair, down=64)",
+		"restarting",
+		"restarting(crash=1@5, down=10)",
+		"omitting",
+		"omitting(drop=1@0:20, to=0)",
+		"restarting(omitting(fair), down=8)",
+	} {
+		var first string
+		for rep := 0; rep < 2; rep++ {
+			var out bytes.Buffer
+			if err := run([]string{"-algo", "PaRan1", "-p", "6", "-t", "24", "-d", "2", "-adversary", adv}, &out); err != nil {
+				t.Fatalf("adversary %q: %v", adv, err)
+			}
+			if !strings.Contains(out.String(), "work") || !strings.Contains(out.String(), "adversary="+adv) {
+				t.Fatalf("adversary %q: unexpected output:\n%s", adv, out.String())
+			}
+			if rep == 0 {
+				first = out.String()
+			} else if out.String() != first {
+				t.Fatalf("adversary %q: repeat run not byte-identical:\n%s\nvs:\n%s", adv, first, out.String())
+			}
+		}
+	}
+}
+
+func TestRunFaultPlaneFlagErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-adversary", "restarting(down=0)", "-p", "2", "-t", "4"}, "down=0"},
+		{[]string{"-adversary", "restarting(crash=9@1)", "-p", "2", "-t", "4"}, "outside"},
+		{[]string{"-adversary", "omitting(drop=oops)", "-p", "2", "-t", "4"}, "drop="},
+		{[]string{"-adversary", "omitting(to=9)", "-p", "2", "-t", "4"}, "to="},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		err := run(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error = %v, want substring %q", tc.args, err, tc.want)
+		}
+	}
+}
+
 func TestRunTrialsAveraging(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-algo", "AllToAll", "-p", "3", "-t", "9", "-trials", "3"}, &out); err != nil {

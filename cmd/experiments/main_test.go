@@ -135,6 +135,45 @@ func TestSweepEndToEndRecordsAdversaries(t *testing.T) {
 	}
 }
 
+// TestSweepFaultPlaneAxes drives restarting/omitting expressions as
+// -advs sweep axes end to end.
+func TestSweepFaultPlaneAxes(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "-algos", "PaRan1,DA", "-p", "4", "-t", "16", "-d", "2",
+		"-advs", "restarting(down=4);omitting(drop=1@0:9)", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep doall.SweepReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("sweep output is not a SweepReport: %v", err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(rep.Cells))
+	}
+	seen := map[string]int{}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s/%s failed: %s", c.Algo, c.Adversary, c.Err)
+		}
+		seen[c.Adversary]++
+	}
+	if seen["restarting(down=4)"] != 2 || seen["omitting(drop=1@0:9)"] != 2 {
+		t.Errorf("adversary axis mis-recorded: %v", seen)
+	}
+}
+
+// TestSweepFaultPlanePreValidates asserts malformed fault expressions
+// are rejected before the sweep starts (the -advs fail-fast path).
+func TestSweepFaultPlanePreValidates(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sweep", "-algos", "PaRan1", "-p", "4", "-t", "16", "-d", "2",
+		"-advs", "restarting(down=0)"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "down=0") {
+		t.Fatalf("sweep accepted a malformed restarting expression: %v", err)
+	}
+}
+
 func TestExperimentsSubsetRuns(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-only", "E3"}, &out); err != nil {

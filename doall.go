@@ -22,9 +22,11 @@
 //     DA(q) (NewDA), and the permutation family PA (NewPaRan1, NewPaRan2,
 //     NewPaDet). All run unchanged under both execution substrates.
 //   - A deterministic simulator (Simulate) in which an Adversary controls
-//     processor speeds, crashes, and message delays up to an unknown bound
-//     d — the model in which the paper's bounds are stated — with optional
-//     zero-cost-when-nil Observer hooks for tracing and metrics.
+//     processor speeds, crashes (fail-stop and restartable, with
+//     rebase-on-revive rejoin), message omission, and message delays up
+//     to an unknown bound d — the model in which the paper's bounds are
+//     stated — with optional zero-cost-when-nil Observer hooks for
+//     tracing and metrics.
 //   - A goroutine runtime (Execute, or Backend "runtime") that runs the
 //     same machines on real concurrency with user task bodies.
 //   - The combinatorial toolkit of Section 4 (contention of permutation
@@ -91,6 +93,15 @@ type (
 	// MachineResetter is the optional Machine extension restoring a
 	// machine to its initial state without reallocating (trial reuse).
 	MachineResetter = sim.Resetter
+	// MachineRejoiner is the optional Machine extension for the
+	// crash-restart fault model: Rejoin restores fresh initial knowledge
+	// mid-run without invalidating in-flight payloads (the next broadcast
+	// travels as a full rebase). All six paper algorithms implement it.
+	MachineRejoiner = sim.Rejoiner
+	// Omitter is the optional Adversary extension for message-omission
+	// faults: individual copies of a multicast are dropped before
+	// delivery while the send is still charged.
+	Omitter = sim.Omitter
 	// PayloadRecycler is the optional Machine extension receiving payload
 	// buffers back once every recipient has consumed them.
 	PayloadRecycler = sim.PayloadRecycler
@@ -214,6 +225,32 @@ func NewCrashingAdversary(inner Adversary, events []CrashEvent) Adversary {
 type CrashEvent struct {
 	Pid int
 	At  int64
+}
+
+// RestartEvent schedules a restartable-crash fault: processor Pid
+// crashes at CrashAt and revives at ReviveAt with fresh initial
+// knowledge (deliveries missed while down are lost, and the revived
+// processor's next broadcast travels as a full snapshot rebase).
+type RestartEvent = adversary.RestartEvent
+
+// OmitWindow schedules message-omission faults: every multicast sent by
+// processor Pid at a time in [From, Until) loses its copies (they are
+// charged as sent but never delivered).
+type OmitWindow = adversary.OmitWindow
+
+// NewRestartingAdversary wraps another adversary with scheduled
+// crash-restart faults (the "restarting(...)" expression combinator); it
+// never crashes the last live processor.
+func NewRestartingAdversary(inner Adversary, events []RestartEvent) Adversary {
+	return adversary.NewRestarting(inner, events)
+}
+
+// NewOmittingAdversary wraps another adversary with scheduled
+// message-omission faults (the "omitting(...)" expression combinator).
+// A non-empty to list restricts the dropped copies to the listed
+// recipients, modeling deliver-to-subset omission.
+func NewOmittingAdversary(inner Adversary, windows []OmitWindow, to []int) Adversary {
+	return adversary.NewOmitting(inner, windows, to)
 }
 
 // NewSlowSetAdversary returns a d-adversary that runs the processors in

@@ -176,3 +176,48 @@ func TestPublicAPIContention(t *testing.T) {
 		t.Fatalf("(n)-Cont should be n² = 9")
 	}
 }
+
+// TestPublicAPIFaultPlane pins the crash-restart and omission surface:
+// the adversary constructors, the Rejoiner contract on public machines,
+// and the new observer hooks, all through exported names only.
+func TestPublicAPIFaultPlane(t *testing.T) {
+	const p, tasks, d = 5, 20, 2
+	ms := doall.NewPaRan1(p, tasks, 7)
+	for i, m := range ms {
+		if _, ok := m.(doall.MachineRejoiner); !ok {
+			t.Fatalf("machine %d does not implement MachineRejoiner", i)
+		}
+	}
+	var revives, omits int
+	adv := doall.NewRestartingAdversary(
+		doall.NewOmittingAdversary(doall.NewFairAdversary(d), []doall.OmitWindow{
+			{Pid: 2, From: 0, Until: 10},
+		}, []int{0}),
+		[]doall.RestartEvent{{Pid: 1, CrashAt: 2, ReviveAt: 6}},
+	)
+	// The restarting wrapper must forward the inner adversary's omission
+	// faults (engines assert extensions on the outermost adversary only).
+	om, ok := adv.(doall.Omitter)
+	if !ok {
+		t.Fatal("restarting(omitting(...)) lost the Omitter extension")
+	}
+	if !om.Omit(2, 0, 5) || om.Omit(2, 1, 5) || om.Omit(3, 0, 5) {
+		t.Fatal("forwarded omission does not match the inner window/subset")
+	}
+	res, err := doall.Simulate(doall.SimConfig{P: p, T: tasks, Observer: &doall.FuncObserver{
+		Revive: func(pid int, now int64) { revives++ },
+		Omit:   func(from, to int, sentAt int64) { omits++ },
+	}}, ms, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("not solved")
+	}
+	if revives != 1 {
+		t.Fatalf("OnRevive fired %d times, want 1", revives)
+	}
+	if omits == 0 {
+		t.Fatal("no OnOmit events despite an omission window")
+	}
+}

@@ -24,7 +24,6 @@ var (
 	_ sim.Adversary        = (*Fair)(nil)
 	_ sim.MulticastDelayer = (*Fair)(nil)
 	_ sim.UniformDelayer   = (*Fair)(nil)
-	_ sim.UniformDelayer   = (*Crashing)(nil)
 )
 
 // NewFair returns a Fair adversary with delay bound d that delays every
@@ -144,86 +143,49 @@ type CrashEvent struct {
 }
 
 // Crashing wraps another adversary and injects crash failures at scheduled
-// times. The wrapped adversary's scheduling and delays are otherwise used
-// unchanged. It never crashes the last live processor (the model requires
-// at least one survivor).
+// times. The wrapped adversary's scheduling, delays, and optional engine
+// extensions are otherwise used unchanged (forwardInner). It never
+// crashes the last live processor (the model requires at least one
+// survivor).
 type Crashing struct {
-	Inner  sim.Adversary
+	forwardInner
 	Events []CrashEvent
 }
 
 var (
 	_ sim.Adversary        = (*Crashing)(nil)
 	_ sim.MulticastDelayer = (*Crashing)(nil)
+	_ sim.UniformDelayer   = (*Crashing)(nil)
+	_ sim.InboxAgnostic    = (*Crashing)(nil)
+	_ sim.Omitter          = (*Crashing)(nil)
 )
-
-// InboxAgnostic implements sim.InboxAgnostic, forwarding the question to
-// the wrapped adversary (crash injection itself never reads Inboxes).
-func (a *Crashing) InboxAgnostic() bool {
-	ia, ok := a.Inner.(sim.InboxAgnostic)
-	return ok && ia.InboxAgnostic()
-}
-
-// DelayUniform implements sim.UniformDelayer, uniform exactly when the
-// inner adversary is.
-func (a *Crashing) DelayUniform(from int, sentAt int64) (int64, bool) {
-	if ud, ok := a.Inner.(sim.UniformDelayer); ok {
-		return ud.DelayUniform(from, sentAt)
-	}
-	return 0, false
-}
 
 // NewCrashing wraps inner with the given crash schedule.
 func NewCrashing(inner sim.Adversary, events []CrashEvent) *Crashing {
-	return &Crashing{Inner: inner, Events: events}
+	return &Crashing{forwardInner: forward(inner), Events: events}
 }
-
-// D implements sim.Adversary.
-func (a *Crashing) D() int64 { return a.Inner.D() }
 
 // Schedule implements sim.Adversary. Crash injection is a Schedule side
 // effect tied to exact times, so any NextWake idle promise inherited from
 // the inner adversary is clamped to the next pending crash event —
 // otherwise the engine's fast-forward would jump over the event's time
-// unit and silently drop the crash.
+// unit and silently drop the crash. The survivor guard counts crashes an
+// inner adversary already recorded in dec this unit (pendingLive), so
+// composed fault injectors can never kill the last live processor
+// between them.
 func (a *Crashing) Schedule(v *sim.View, dec *sim.Decision) {
 	a.Inner.Schedule(v, dec)
-	live := 0
-	for i := 0; i < v.P; i++ {
-		if !v.Crashed[i] {
-			live++
-		}
-	}
+	live := pendingLive(v, dec)
 	for _, e := range a.Events {
 		if e.Pid < 0 || e.Pid >= v.P {
 			continue
 		}
-		if e.At == v.Now && live > 1 && !v.Crashed[e.Pid] {
+		if e.At == v.Now && live > 1 && !v.Crashed[e.Pid] && !crashScheduled(dec, e.Pid) {
 			dec.Crash = append(dec.Crash, e.Pid)
 			live--
 		}
 		if dec.NextWake > 0 && e.At > v.Now && e.At < dec.NextWake && !v.Crashed[e.Pid] {
 			dec.NextWake = e.At
-		}
-	}
-}
-
-// Delay implements sim.Adversary.
-func (a *Crashing) Delay(from, to int, sentAt int64) int64 {
-	return a.Inner.Delay(from, to, sentAt)
-}
-
-// DelayMulticast implements sim.MulticastDelayer, forwarding to the inner
-// adversary's batched path when it has one and adapting its per-recipient
-// Delay otherwise.
-func (a *Crashing) DelayMulticast(from int, sentAt int64, out []int64) {
-	if md, ok := a.Inner.(sim.MulticastDelayer); ok {
-		md.DelayMulticast(from, sentAt, out)
-		return
-	}
-	for j := range out {
-		if j != from {
-			out[j] = a.Inner.Delay(from, j, sentAt)
 		}
 	}
 }
@@ -306,7 +268,7 @@ func (a *SlowSet) DelayUniform(from int, sentAt int64) (int64, bool) { return a.
 // the inner adversary itself makes. Prefer plain SlowSet when no inner
 // composition is needed.
 type SlowSetOver struct {
-	Inner  sim.Adversary
+	forwardInner
 	Slow   map[int]bool
 	Period int64
 }
@@ -315,23 +277,9 @@ var (
 	_ sim.Adversary        = (*SlowSetOver)(nil)
 	_ sim.MulticastDelayer = (*SlowSetOver)(nil)
 	_ sim.UniformDelayer   = (*SlowSetOver)(nil)
+	_ sim.InboxAgnostic    = (*SlowSetOver)(nil)
+	_ sim.Omitter          = (*SlowSetOver)(nil)
 )
-
-// InboxAgnostic implements sim.InboxAgnostic, forwarding the question to
-// the wrapped adversary.
-func (a *SlowSetOver) InboxAgnostic() bool {
-	ia, ok := a.Inner.(sim.InboxAgnostic)
-	return ok && ia.InboxAgnostic()
-}
-
-// DelayUniform implements sim.UniformDelayer, uniform exactly when the
-// inner adversary is.
-func (a *SlowSetOver) DelayUniform(from int, sentAt int64) (int64, bool) {
-	if ud, ok := a.Inner.(sim.UniformDelayer); ok {
-		return ud.DelayUniform(from, sentAt)
-	}
-	return 0, false
-}
 
 // NewSlowSetOver wraps inner so processors in slow step only every period
 // units (when inner schedules them at all).
@@ -343,11 +291,8 @@ func NewSlowSetOver(inner sim.Adversary, slow []int, period int64) *SlowSetOver 
 	if period < 1 {
 		period = 1
 	}
-	return &SlowSetOver{Inner: inner, Slow: m, Period: period}
+	return &SlowSetOver{forwardInner: forward(inner), Slow: m, Period: period}
 }
-
-// D implements sim.Adversary.
-func (a *SlowSetOver) D() int64 { return a.Inner.D() }
 
 // Schedule implements sim.Adversary: the inner decision filtered in
 // place to drop slow processors off-period. The inner adversary's
@@ -364,24 +309,5 @@ func (a *SlowSetOver) Schedule(v *sim.View, dec *sim.Decision) {
 			}
 		}
 		dec.Active = kept
-	}
-}
-
-// Delay implements sim.Adversary.
-func (a *SlowSetOver) Delay(from, to int, sentAt int64) int64 {
-	return a.Inner.Delay(from, to, sentAt)
-}
-
-// DelayMulticast implements sim.MulticastDelayer, forwarding to the inner
-// adversary's batched path when it has one.
-func (a *SlowSetOver) DelayMulticast(from int, sentAt int64, out []int64) {
-	if md, ok := a.Inner.(sim.MulticastDelayer); ok {
-		md.DelayMulticast(from, sentAt, out)
-		return
-	}
-	for j := range out {
-		if j != from {
-			out[j] = a.Inner.Delay(from, j, sentAt)
-		}
 	}
 }

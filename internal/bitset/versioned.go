@@ -435,6 +435,46 @@ func (v *Versioned) Reset() {
 	v.epochWords = 0
 }
 
+// Rejoin clears the set for a crash-restart while keeping the version
+// counter monotone. It is the mid-run sibling of Reset: a revived
+// processor must forget its knowledge, but its pre-crash snapshots may
+// still be in flight, so versions must keep increasing — receivers whose
+// cursor points at a pre-crash version then see every post-rejoin
+// snapshot as a version gap and fall back to a full base-plus-chain
+// merge, which is exactly the rebase-on-revive rule. The current epoch is
+// retired (pooled once its outstanding snapshots drain) and replaced by
+// an empty-based epoch primed to rebase: the next Snapshot immediately
+// starts a fresh epoch whose base is a full copy, so it travels as a full
+// (non-delta) payload.
+func (v *Versioned) Rejoin() {
+	v.set.ClearAll()
+	// The pending dirty words describe pre-crash mutations of a set that
+	// is now empty; drop them. Stamps are keyed to ver+1 and ver does not
+	// advance here, so they must be cleared too or post-rejoin touches of
+	// the same words would be missed.
+	clear(v.stamp)
+	v.dirty = v.dirty[:0]
+	prev := v.cur
+	prev.retired = true
+	var ep *epoch
+	if n := len(v.freeEps); n > 0 {
+		ep = v.freeEps[n-1]
+		v.freeEps = v.freeEps[:n-1]
+	} else {
+		ep = new(epoch)
+	}
+	*ep = epoch{baseVer: v.ver, segs: ep.segs[:0]}
+	v.cur = ep
+	// Prime the rebase: crossing the threshold makes the next Snapshot
+	// retire this transitional epoch and emit a full-base snapshot.
+	v.epochWords = rebaseThreshold(len(v.set.words))
+	if prev.outstanding == 0 {
+		v.freeEpoch(prev)
+	} else {
+		v.old = append(v.old, prev)
+	}
+}
+
 // Clone returns a deep, independent copy at the same version. The clone
 // starts a fresh epoch whose base is the current contents (a safe
 // over-approximation of the state at the clone's version: merges are

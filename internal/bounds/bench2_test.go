@@ -1,0 +1,102 @@
+package bounds
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+// bench2Eps is the DA bound exponent the sweep runner records
+// (scenario.addTheory uses ε = 0.5).
+const bench2Eps = 0.5
+
+// bench2Cell is the subset of the BENCH_2.json cell schema the theory
+// pins need.
+type bench2Cell struct {
+	Algo         string  `json:"algo"`
+	P            int     `json:"p"`
+	T            int     `json:"t"`
+	D            int     `json:"d"`
+	Work         int64   `json:"work"`
+	LowerBound   float64 `json:"lower_bound"`
+	DAUpperBound float64 `json:"da_upper_bound"`
+	PAUpperBound float64 `json:"pa_upper_bound"`
+	WorkOverLB   float64 `json:"work_over_lb"`
+}
+
+// closeEnough compares recorded against recomputed theory values. The
+// recorded floats round-trip JSON exactly, so the tolerance only covers
+// platform-level libm differences.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// TestTheoryColumnsPinnedToBench2 recomputes every theory column of the
+// recorded BENCH_2.json grid from internal/bounds and requires exact
+// agreement: the bound evaluators must never drift from what shipped
+// benchmarks were annotated with.
+func TestTheoryColumnsPinnedToBench2(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_2.json")
+	if err != nil {
+		t.Fatalf("BENCH_2.json: %v", err)
+	}
+	var report struct {
+		Theory bool         `json:"theory"`
+		Cells  []bench2Cell `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_2.json: %v", err)
+	}
+	if !report.Theory {
+		t.Fatal("BENCH_2.json was not recorded with -theory")
+	}
+	if len(report.Cells) == 0 {
+		t.Fatal("BENCH_2.json has no cells")
+	}
+	for _, c := range report.Cells {
+		if lb := LowerBound(c.P, c.T, c.D); !closeEnough(lb, c.LowerBound) {
+			t.Errorf("%s p=%d t=%d d=%d: LowerBound = %v, recorded %v", c.Algo, c.P, c.T, c.D, lb, c.LowerBound)
+		}
+		if da := DAUpperBound(c.P, c.T, c.D, bench2Eps); !closeEnough(da, c.DAUpperBound) {
+			t.Errorf("%s p=%d t=%d d=%d: DAUpperBound = %v, recorded %v", c.Algo, c.P, c.T, c.D, da, c.DAUpperBound)
+		}
+		if pa := PAUpperBound(c.P, c.T, c.D); !closeEnough(pa, c.PAUpperBound) {
+			t.Errorf("%s p=%d t=%d d=%d: PAUpperBound = %v, recorded %v", c.Algo, c.P, c.T, c.D, pa, c.PAUpperBound)
+		}
+		if ratio := Overhead(c.Work, c.LowerBound); !closeEnough(ratio, c.WorkOverLB) {
+			t.Errorf("%s p=%d t=%d d=%d: work/lb = %v, recorded %v", c.Algo, c.P, c.T, c.D, ratio, c.WorkOverLB)
+		}
+	}
+}
+
+// TestTheoryColumnsHardcodedPins is the file-independent half of the
+// pin: a hand-copied sample of BENCH_2.json rows, so a regenerated (or
+// corrupted) benchmark file cannot silently re-baseline the evaluators.
+func TestTheoryColumnsHardcodedPins(t *testing.T) {
+	cases := []struct {
+		p, t, d           int
+		lower, daUp, paUp float64
+	}{
+		{1024, 65536, 1, 81920.02254193803, 2359296, 465617.4909075831},
+		{4096, 65536, 8, 230932.26968758524, 7160124.800757861, 840390.7310893631},
+		{1024, 65536, 64, 239664.90078867265, 4194304, 908649.7476660539},
+		{4096, 262144, 1, 335872.022542067, 18874368, 2231556.88058668},
+	}
+	for _, c := range cases {
+		if lb := LowerBound(c.p, c.t, c.d); !closeEnough(lb, c.lower) {
+			t.Errorf("p=%d t=%d d=%d: LowerBound = %v, want %v", c.p, c.t, c.d, lb, c.lower)
+		}
+		if da := DAUpperBound(c.p, c.t, c.d, bench2Eps); !closeEnough(da, c.daUp) {
+			t.Errorf("p=%d t=%d d=%d: DAUpperBound = %v, want %v", c.p, c.t, c.d, da, c.daUp)
+		}
+		if pa := PAUpperBound(c.p, c.t, c.d); !closeEnough(pa, c.paUp) {
+			t.Errorf("p=%d t=%d d=%d: PAUpperBound = %v, want %v", c.p, c.t, c.d, pa, c.paUp)
+		}
+	}
+}

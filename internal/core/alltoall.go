@@ -25,6 +25,7 @@ var (
 	_ sim.TaskIntender = (*AllToAll)(nil)
 	_ sim.Cloner       = (*AllToAll)(nil)
 	_ sim.Resetter     = (*AllToAll)(nil)
+	_ sim.Rejoiner     = (*AllToAll)(nil)
 )
 
 // NewAllToAll builds the p machines of the oblivious algorithm for t tasks.
@@ -72,3 +73,8 @@ func (m *AllToAll) CloneMachine() sim.Machine {
 
 // Reset implements sim.Resetter.
 func (m *AllToAll) Reset() { m.next = 0 }
+
+// Rejoin implements sim.Rejoiner: a crash-restarted processor starts its
+// rotated cover over (it communicates nothing, so rejoining is a plain
+// reset).
+func (m *AllToAll) Rejoin() { m.Reset() }

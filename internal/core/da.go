@@ -58,6 +58,7 @@ var (
 	_ sim.TaskIntender    = (*DA)(nil)
 	_ sim.Cloner          = (*DA)(nil)
 	_ sim.Resetter        = (*DA)(nil)
+	_ sim.Rejoiner        = (*DA)(nil)
 	_ sim.PayloadRecycler = (*DA)(nil)
 )
 
@@ -361,6 +362,21 @@ func (m *DA) CloneMachine() sim.Machine {
 // capacity are kept), after which it replays the exact same traversal.
 func (m *DA) Reset() {
 	m.tree.ResetPadded(m.jobs.N)
+	m.mg.Reset()
+	m.stack = m.stack[:0]
+	m.stack = append(m.stack, daFrame{node: m.tree.Root(), depth: 0})
+	m.unit = 0
+	m.halted = false
+}
+
+// Rejoin implements sim.Rejoiner: crash-restart re-entry with a fresh
+// replica. The tree rejoins through the versioned set (versions stay
+// monotone, padding leaves re-marked, the next broadcast is a full
+// rebase — in-flight pre-crash snapshots stay valid), the per-sender
+// cursors are zeroed, and the traversal restarts at the root with the
+// same deterministic permutation digits.
+func (m *DA) Rejoin() {
+	m.tree.RejoinPadded(m.jobs.N)
 	m.mg.Reset()
 	m.stack = m.stack[:0]
 	m.stack = append(m.stack, daFrame{node: m.tree.Root(), depth: 0})

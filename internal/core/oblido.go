@@ -26,6 +26,7 @@ var (
 	_ sim.TaskIntender = (*ObliDo)(nil)
 	_ sim.Cloner       = (*ObliDo)(nil)
 	_ sim.Resetter     = (*ObliDo)(nil)
+	_ sim.Rejoiner     = (*ObliDo)(nil)
 )
 
 // NewObliDo builds p ObliDo machines for t tasks using the schedule list
@@ -79,3 +80,8 @@ func (m *ObliDo) CloneMachine() sim.Machine {
 
 // Reset implements sim.Resetter.
 func (m *ObliDo) Reset() { m.jobIx, m.unit = 0, 0 }
+
+// Rejoin implements sim.Rejoiner: the schedule restarts from the top of
+// the processor's permutation (ObliDo communicates nothing, so rejoining
+// is a plain reset).
+func (m *ObliDo) Rejoin() { m.Reset() }

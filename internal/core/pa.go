@@ -65,6 +65,7 @@ var (
 	_ sim.BatchConsumer   = (*PA)(nil)
 	_ sim.TaskIntender    = (*PA)(nil)
 	_ sim.Resetter        = (*PA)(nil)
+	_ sim.Rejoiner        = (*PA)(nil)
 	_ sim.PayloadRecycler = (*PA)(nil)
 )
 
@@ -388,6 +389,25 @@ func (m *PA) CloneMachine() sim.Machine {
 // continues, so a reset machine runs a fresh trial.
 func (m *PA) Reset() {
 	m.done.Reset()
+	m.mg.Reset()
+	m.remain = m.jobs.N
+	m.selector.reset()
+	m.cur = -1
+	m.unit = 0
+	m.halted = false
+}
+
+// Rejoin implements sim.Rejoiner: the machine re-enters after a
+// crash-restart with fresh initial knowledge. Unlike Reset it runs
+// mid-execution, while pre-crash done-set snapshots may still be in
+// flight, so the versioned set rejoins instead of resetting — versions
+// stay monotone, the next broadcast travels as a full rebase, and
+// receivers' stale cursors fall back to full merges. The machine's own
+// per-sender cursors are zeroed (its knowledge is gone, so every peer
+// must be re-merged from the base), and the permutation position is
+// re-seeded deterministically via the selector's reset.
+func (m *PA) Rejoin() {
+	m.done.Rejoin()
 	m.mg.Reset()
 	m.remain = m.jobs.N
 	m.selector.reset()

@@ -18,7 +18,8 @@ import (
 func TestEngineEquivalence(t *testing.T) {
 	algos := []Algo{AlgoAllToAll, AlgoObliDo, AlgoDA, AlgoPaRan1, AlgoPaRan2, AlgoPaDet}
 	sizes := []struct{ p, t int }{{2, 8}, {5, 16}, {16, 64}}
-	advs := []string{"fair", "random", "crash-fair", "crash-random", "slow-all", "crash-slow-all", "crash-stage-det", "stage-det", "stage-online"}
+	advs := []string{"fair", "random", "crash-fair", "crash-random", "slow-all", "crash-slow-all", "crash-stage-det", "stage-det", "stage-online",
+		"restart-fair", "restart-random", "restart-slow-all", "omit-fair", "omit-random", "omit-subset-fair", "restart-omit-fair"}
 
 	for _, algo := range algos {
 		for _, size := range sizes {
@@ -90,8 +91,54 @@ func buildEquivAdversary(s Spec, advName string) (sim.Adversary, error) {
 		return adversary.NewStageDeterministic(s.D, s.T), nil
 	case "stage-online":
 		return adversary.NewStageOnline(s.D, s.T), nil
+	case "restart-fair":
+		return adversary.NewRestarting(adversary.NewFair(s.D), restartsFor(s)), nil
+	case "restart-random":
+		return adversary.NewRestarting(adversary.NewRandom(s.D, 0.6, s.Seed^0xbeef), restartsFor(s)), nil
+	case "restart-slow-all":
+		// Revives timed inside the idle stretches of an all-slow schedule:
+		// the engine's fast-forward must not jump over them (Restarting
+		// clamps NextWake).
+		slow := make([]int, s.P)
+		for i := range slow {
+			slow[i] = i
+		}
+		return adversary.NewRestarting(adversary.NewSlowSet(s.D, slow, 5), restartsFor(s)), nil
+	case "omit-fair":
+		return adversary.NewOmitting(adversary.NewFair(s.D), omitsFor(s), nil), nil
+	case "omit-random":
+		return adversary.NewOmitting(adversary.NewRandom(s.D, 0.6, s.Seed^0xbeef), omitsFor(s), nil), nil
+	case "omit-subset-fair":
+		// Deliver-to-subset omission: only the copies addressed to the
+		// first two processors are dropped.
+		return adversary.NewOmitting(adversary.NewFair(s.D), omitsFor(s), []int{0, 1}), nil
+	case "restart-omit-fair":
+		// The full fault plane composed: restartable crashes over
+		// message omission over fixed delays.
+		return adversary.NewRestarting(
+			adversary.NewOmitting(adversary.NewFair(s.D), omitsFor(s), nil),
+			restartsFor(s)), nil
 	}
 	return nil, fmt.Errorf("unknown equivalence adversary %q", advName)
+}
+
+// restartsFor schedules crash-restart faults that exercise both the
+// downtime and the rebased re-entry: the first and last processors go
+// down early and revive mid-run.
+func restartsFor(s Spec) []adversary.RestartEvent {
+	return []adversary.RestartEvent{
+		{Pid: 0, CrashAt: 1, ReviveAt: 1 + 3*s.D},
+		{Pid: s.P - 1, CrashAt: 3, ReviveAt: 3 + 5*s.D},
+	}
+}
+
+// omitsFor schedules omission windows covering the early broadcasts of
+// two senders (every send in the window loses its copies).
+func omitsFor(s Spec) []adversary.OmitWindow {
+	return []adversary.OmitWindow{
+		{Pid: 0, From: 0, Until: 4 * s.D},
+		{Pid: s.P / 2, From: s.D, Until: 6 * s.D},
+	}
 }
 
 // TestEngineEquivalenceNonUniformDelays drives the engine's per-recipient

@@ -1,0 +1,146 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"doall/internal/adversary"
+	"doall/internal/core"
+	"doall/internal/perm"
+	"doall/internal/sim"
+)
+
+// buildDiffMachines constructs one algorithm's machines for the
+// differential test (small shapes only).
+func buildDiffMachines(algo string, p, t int, seed int64) ([]sim.Machine, error) {
+	switch algo {
+	case "PaRan1":
+		return core.NewPaRan1(p, t, seed), nil
+	case "DA":
+		r := rand.New(rand.NewSource(seed))
+		return core.NewDA(core.DAConfig{P: p, T: t, Q: 2, Perms: perm.FindLowContentionList(2, 2, 8, r).List})
+	case "AllToAll":
+		return core.NewAllToAll(p, t), nil
+	}
+	return nil, fmt.Errorf("unknown algo %q", algo)
+}
+
+// waitNoGoroutineLeak polls until the goroutine count returns to the
+// pre-run baseline (plus scheduler slack), failing the test if it never
+// does — a goleak-style check without the dependency.
+func waitNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := goruntime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := goruntime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d goroutines alive, baseline %d\n%s",
+				goruntime.NumGoroutine(), before, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDifferentialRuntimeVsSim runs the same machines through the
+// goroutine runtime and the deterministic simulator on small shapes
+// (p ≤ 8) under crash and crash-restart fault maps. Both substrates must
+// solve, the runtime's observed work must stay within a generous slack
+// factor of the simulator's (the runtime is wall-clock paced and
+// nondeterministic, so only the order of magnitude is comparable), and
+// no goroutines may leak.
+func TestDifferentialRuntimeVsSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced differential test")
+	}
+	cases := []struct {
+		algo string
+		p, t int
+		// crash/revive maps, keyed by pid: crashAfter in local steps,
+		// reviveAfter in downtime units (-1 = never revive).
+		crashAfter  map[int]int
+		reviveAfter map[int]int
+	}{
+		{"PaRan1", 4, 32, nil, nil},
+		{"PaRan1", 4, 32, map[int]int{1: 3}, nil},                                   // plain crash
+		{"PaRan1", 6, 48, map[int]int{1: 3, 2: 5}, map[int]int{1: 6}},               // mixed crash / crash-restart
+		{"DA", 4, 32, map[int]int{1: 2}, map[int]int{1: 4}},                         // crash-restart
+		{"AllToAll", 8, 24, map[int]int{0: 1, 3: 2, 5: 4}, map[int]int{0: 3, 5: 2}}, // oblivious restarts
+	}
+	for _, c := range cases {
+		c := c
+		name := fmt.Sprintf("%s/p%d-t%d-crash%d-revive%d", c.algo, c.p, c.t, len(c.crashAfter), len(c.reviveAfter))
+		t.Run(name, func(t *testing.T) {
+			const seed, d = 7, 2
+
+			// Simulator reference: the analogous fault schedule expressed
+			// as a restarting adversary over fair delays.
+			simMs, err := buildDiffMachines(c.algo, c.p, c.t, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []adversary.RestartEvent
+			for pid, at := range c.crashAfter {
+				ev := adversary.RestartEvent{Pid: pid, CrashAt: int64(at), ReviveAt: -1}
+				if down, ok := c.reviveAfter[pid]; ok {
+					ev.ReviveAt = ev.CrashAt + int64(down)
+				}
+				events = append(events, ev)
+			}
+			simRes, err := sim.Run(sim.Config{P: c.p, T: c.t},
+				simMs, adversary.NewRestarting(adversary.NewFair(d), events))
+			if err != nil {
+				t.Fatalf("sim reference: %v", err)
+			}
+			if !simRes.Solved {
+				t.Fatal("sim reference did not solve")
+			}
+
+			// Runtime run, with a leak check around it.
+			before := goruntime.NumGoroutine()
+			rtMs, err := buildDiffMachines(c.algo, c.p, c.t, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(Config{
+				P: c.p, T: c.t, D: d,
+				Unit:        100 * time.Microsecond,
+				Seed:        seed,
+				Timeout:     20 * time.Second,
+				CrashAfter:  c.crashAfter,
+				ReviveAfter: c.reviveAfter,
+			}, rtMs)
+			if err != nil {
+				t.Fatalf("runtime: %v", err)
+			}
+			waitNoGoroutineLeak(t, before)
+
+			if !rep.Solved {
+				t.Fatal("runtime did not solve")
+			}
+			for pid := range c.crashAfter {
+				if !rep.Crashed[pid] {
+					t.Errorf("pid %d never crashed", pid)
+				}
+				if _, ok := c.reviveAfter[pid]; ok && !rep.Revived[pid] {
+					t.Errorf("pid %d never revived", pid)
+				}
+			}
+			// Work slack: the runtime charges steps until every live
+			// processor halts, the simulator until solved — compare
+			// against the simulator's total with generous headroom for
+			// scheduling noise (both are bounded by a small multiple of
+			// the oblivious ceiling on these shapes).
+			slack := 30*simRes.TotalSteps + 1000
+			if rep.Steps > slack {
+				t.Errorf("runtime steps %d exceed slack %d (sim total %d)", rep.Steps, slack, simRes.TotalSteps)
+			}
+		})
+	}
+}

@@ -44,6 +44,13 @@ type Config struct {
 	// CrashAfter, when non-nil, maps pid → number of local steps after
 	// which the processor crashes silently.
 	CrashAfter map[int]int
+	// ReviveAfter, when non-nil, maps pid → number of units of downtime
+	// after which a processor crashed by CrashAfter restarts: it discards
+	// everything delivered while it was down, rejoins its machine with
+	// fresh initial knowledge (sim.RejoinMachine — the same rebase-on-
+	// revive rule as the simulator), and resumes stepping. Pids without a
+	// CrashAfter entry never crash, so their ReviveAfter entry is inert.
+	ReviveAfter map[int]int
 }
 
 // Report summarizes one runtime execution.
@@ -63,6 +70,9 @@ type Report struct {
 	PerProcSteps []int64
 	// Crashed[i] reports whether processor i was crashed by CrashAfter.
 	Crashed []bool
+	// Revived[i] reports whether processor i restarted after its crash
+	// (ReviveAfter).
+	Revived []bool
 }
 
 // ErrTimeout is returned when the run exceeds its Timeout before solving.
@@ -98,6 +108,7 @@ func Run(cfg Config, machines []sim.Machine) (*Report, error) {
 		report: &Report{
 			PerProcSteps: make([]int64, cfg.P),
 			Crashed:      make([]bool, cfg.P),
+			Revived:      make([]bool, cfg.P),
 		},
 	}
 	for i := range r.inboxes {
@@ -195,6 +206,12 @@ func (r *runner) processor(pid int, m sim.Machine) {
 			crashAt = v
 		}
 	}
+	reviveAfter := -1
+	if r.cfg.ReviveAfter != nil {
+		if v, ok := r.cfg.ReviveAfter[pid]; ok && v >= 0 {
+			reviveAfter = v
+		}
+	}
 	var local int64
 	ticker := time.NewTicker(r.unit)
 	defer ticker.Stop()
@@ -207,8 +224,34 @@ func (r *runner) processor(pid int, m sim.Machine) {
 		}
 		if crashAt >= 0 && local >= int64(crashAt) {
 			r.report.Crashed[pid] = true
-			r.report.PerProcSteps[pid] = local
-			return
+			if reviveAfter < 0 {
+				r.report.PerProcSteps[pid] = local
+				return
+			}
+			// Restartable crash: stay down for the configured number of
+			// units, lose everything delivered in the meantime, rejoin the
+			// machine with fresh knowledge, and resume. The crash fires
+			// only once — a revived processor runs to completion.
+			for k := 0; k < reviveAfter; k++ {
+				select {
+				case <-r.done:
+					r.report.PerProcSteps[pid] = local
+					return
+				case <-ticker.C:
+				}
+			}
+		discard:
+			for {
+				select {
+				case <-r.inboxes[pid]:
+				default:
+					break discard
+				}
+			}
+			sim.RejoinMachine(m)
+			r.report.Revived[pid] = true
+			crashAt = -1
+			continue
 		}
 
 		// Drain the inbox without blocking: processing any number of

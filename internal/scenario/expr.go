@@ -74,9 +74,16 @@ func parseAdvExpr(s string) (*advExpr, error) {
 	return e, nil
 }
 
+// maxExprDepth bounds combinator nesting. Real expressions stack a
+// handful of combinators; the bound exists so that adversarial input
+// (fuzzing, user-supplied JSON) errors out instead of exhausting the
+// goroutine stack through parser recursion.
+const maxExprDepth = 64
+
 type exprParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *exprParser) skipSpace() {
@@ -110,6 +117,11 @@ func (p *exprParser) value() string {
 }
 
 func (p *exprParser) expr() (*advExpr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, fmt.Errorf("scenario: adversary expression nests deeper than %d", maxExprDepth)
+	}
 	p.skipSpace()
 	name := p.ident()
 	if name == "" {

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeedExprs is the seed corpus: every registered adversary (flat and
+// with representative parameters), the documented combinator stacks, the
+// new fault-plane expressions, and a bestiary of near-miss inputs the
+// parser must reject gracefully.
+func fuzzSeedExprs() []string {
+	seeds := []string{
+		// Every registered flat name.
+		"fair", "random", "crashing", "restarting", "omitting",
+		"slow-set", "stage-det", "stage-online",
+		// Parameterized forms from the documentation and the CLIs.
+		"fair(delay=2)",
+		"random(activity=0.5)",
+		"random(activity=0.5, seed=7)",
+		"crashing(crash=0@3, crash=2@9)",
+		"crashing(slow-set(fair))",
+		"slow-set(slow=1, slow=3, period=8)",
+		"slow-set(period=2)",
+		"crashing(slow-set(fair),crash=0@5)",
+		// The fault plane.
+		"restarting(fair, down=64)",
+		"restarting(crash=1@10, crash=2@20, down=30)",
+		"restarting(random(activity=0.8), down=4)",
+		"omitting(fair)",
+		"omitting(drop=1@3)",
+		"omitting(drop=1@0:50, to=2, to=3)",
+		"omitting(slow-set(fair), drop=0@5:9)",
+		"restarting(omitting(fair, drop=2@0:20), down=8)",
+		// Near-misses and hostile shapes.
+		"", "(", ")", "fair(", "fair)", "fair(,)", "fair(delay=)",
+		"fair(delay", "crashing(crash=@)", "crashing(crash=1@)",
+		"omitting(drop=1@9:3)", "restarting(down=-1)",
+		"a(b(c(d(e(f(g))))))",
+		strings.Repeat("crashing(", 80) + "fair" + strings.Repeat(")", 80),
+		"fair(delay=99999999999999999999999999)",
+		"  fair  (  delay = 1 )  ",
+		"fair x", "fair,fair", "no-such-adversary(x=y)",
+	}
+	return seeds
+}
+
+// FuzzParseAdversary fuzzes the adversary-expression front door: parse,
+// canonicalize, re-parse (the canonical form must be a fixed point), and
+// resolve through the registry against a small scenario. Nothing in the
+// pipeline may panic or run away on arbitrary input — errors are the
+// only acceptable failure mode.
+func FuzzParseAdversary(f *testing.F) {
+	for _, s := range fuzzSeedExprs() {
+		f.Add(s)
+	}
+	sc := Scenario{Algorithm: AlgoPaRan1, P: 5, T: 8, D: 2, Seed: 3}.WithDefaults()
+	f.Fuzz(func(t *testing.T, expr string) {
+		e, err := parseAdvExpr(expr)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// The canonical form must re-parse to itself.
+		canon := e.String()
+		e2, err := parseAdvExpr(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, expr, err)
+		}
+		if canon2 := e2.String(); canon2 != canon {
+			t.Fatalf("canonicalization is not a fixed point: %q -> %q -> %q", expr, canon, canon2)
+		}
+		// Resolving through the registry must never panic; unknown names
+		// and bad parameters must surface as errors.
+		run := sc
+		run.Adversary = expr
+		if adv, err := run.BuildAdversary(); err == nil && adv == nil {
+			t.Fatalf("BuildAdversary(%q) returned nil adversary without error", expr)
+		}
+	})
+}

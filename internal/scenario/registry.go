@@ -107,6 +107,8 @@ const (
 	AdvFair        = "fair"
 	AdvRandom      = "random"
 	AdvCrashing    = "crashing"
+	AdvRestarting  = "restarting"
+	AdvOmitting    = "omitting"
 	AdvSlowSet     = "slow-set"
 	AdvStageDet    = "stage-det"
 	AdvStageOnline = "stage-online"
@@ -228,6 +230,101 @@ func init() {
 		return adversary.NewCrashing(inner, events), nil
 	})
 
+	// restarting: wraps an inner adversary (default fair) with
+	// restartable-crash faults. crash=PID@TIME parameters list the crash
+	// instants (defaulting to crashing's schedule: processors
+	// 1..⌊(p-1)/2⌋, processor i at time i·d) and down=N (default 4·d) is
+	// the downtime — each crashed processor revives N units after its
+	// crash with fresh initial knowledge.
+	RegisterAdversary(AdvRestarting, func(ctx *AdversaryContext) (Adversary, error) {
+		if err := ctx.maxInners(1); err != nil {
+			return nil, err
+		}
+		if err := ctx.checkParams("crash", "down"); err != nil {
+			return nil, err
+		}
+		inner, err := ctx.innerOrFair()
+		if err != nil {
+			return nil, err
+		}
+		d := ctx.Scenario.D
+		down, err := ctx.IntParam("down", 4*d)
+		if err != nil {
+			return nil, err
+		}
+		if down < 1 {
+			return nil, fmt.Errorf("down=%d must be ≥ 1", down)
+		}
+		var events []adversary.RestartEvent
+		for _, v := range ctx.ParamAll("crash") {
+			ev, err := parseCrashEvent(v)
+			if err != nil {
+				return nil, err
+			}
+			if ev.Pid < 0 || ev.Pid >= ctx.Scenario.P {
+				return nil, fmt.Errorf("crash=%q: pid %d outside [0, %d)", v, ev.Pid, ctx.Scenario.P)
+			}
+			if ev.At < 0 {
+				return nil, fmt.Errorf("crash=%q: negative time", v)
+			}
+			events = append(events, adversary.RestartEvent{Pid: ev.Pid, CrashAt: ev.At, ReviveAt: ev.At + down})
+		}
+		if len(events) == 0 {
+			for i := 1; i <= (ctx.Scenario.P-1)/2; i++ {
+				at := int64(i) * d
+				events = append(events, adversary.RestartEvent{Pid: i, CrashAt: at, ReviveAt: at + down})
+			}
+		}
+		return adversary.NewRestarting(inner, events), nil
+	})
+
+	// omitting: wraps an inner adversary (default fair) with
+	// message-omission faults. drop=PID@T (or drop=PID@T1:T2) parameters
+	// give send-time windows whose multicasts lose their copies; to=PID
+	// parameters restrict the loss to the listed recipients (the
+	// complement still receives — deliver-to-subset). With no drop
+	// parameters, processors 1..⌊(p-1)/2⌋ lose every multicast sent in
+	// [i·d, (i+2)·d) — a deterministic default so the flat name is
+	// meaningful in sweeps.
+	RegisterAdversary(AdvOmitting, func(ctx *AdversaryContext) (Adversary, error) {
+		if err := ctx.maxInners(1); err != nil {
+			return nil, err
+		}
+		if err := ctx.checkParams("drop", "to"); err != nil {
+			return nil, err
+		}
+		inner, err := ctx.innerOrFair()
+		if err != nil {
+			return nil, err
+		}
+		var windows []adversary.OmitWindow
+		for _, v := range ctx.ParamAll("drop") {
+			w, err := parseOmitWindow(v)
+			if err != nil {
+				return nil, err
+			}
+			if w.Pid < 0 || w.Pid >= ctx.Scenario.P {
+				return nil, fmt.Errorf("drop=%q: pid %d outside [0, %d)", v, w.Pid, ctx.Scenario.P)
+			}
+			windows = append(windows, w)
+		}
+		if len(windows) == 0 {
+			d := ctx.Scenario.D
+			for i := 1; i <= (ctx.Scenario.P-1)/2; i++ {
+				windows = append(windows, adversary.OmitWindow{Pid: i, From: int64(i) * d, Until: int64(i+2) * d})
+			}
+		}
+		var to []int
+		for _, v := range ctx.ParamAll("to") {
+			pid, err := strconv.Atoi(v)
+			if err != nil || pid < 0 || pid >= ctx.Scenario.P {
+				return nil, fmt.Errorf("to=%q is not a processor id in [0, %d)", v, ctx.Scenario.P)
+			}
+			to = append(to, pid)
+		}
+		return adversary.NewOmitting(inner, windows, to), nil
+	})
+
 	// slow-set: wraps an inner adversary (default fair) so the designated
 	// slow processors (slow=PID parameters; default the upper half) step
 	// only every period units (default 4).
@@ -305,6 +402,35 @@ func (c *AdversaryContext) innerOrFair() (Adversary, error) {
 		return nil, err
 	}
 	return b(&AdversaryContext{Scenario: c.Scenario})
+}
+
+// parseOmitWindow parses "PID@TIME" (the single unit [TIME, TIME+1)) or
+// "PID@FROM:UNTIL" (send times in the half-open window [FROM, UNTIL)).
+func parseOmitWindow(v string) (adversary.OmitWindow, error) {
+	pidStr, span, ok := strings.Cut(v, "@")
+	if !ok {
+		return adversary.OmitWindow{}, fmt.Errorf("drop=%q is not PID@TIME or PID@FROM:UNTIL", v)
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(pidStr))
+	if err != nil {
+		return adversary.OmitWindow{}, fmt.Errorf("drop=%q: bad pid: %v", v, err)
+	}
+	fromStr, untilStr, ranged := strings.Cut(span, ":")
+	from, err := strconv.ParseInt(strings.TrimSpace(fromStr), 10, 64)
+	if err != nil {
+		return adversary.OmitWindow{}, fmt.Errorf("drop=%q: bad time: %v", v, err)
+	}
+	until := from + 1
+	if ranged {
+		until, err = strconv.ParseInt(strings.TrimSpace(untilStr), 10, 64)
+		if err != nil {
+			return adversary.OmitWindow{}, fmt.Errorf("drop=%q: bad window end: %v", v, err)
+		}
+	}
+	if from < 0 || until <= from {
+		return adversary.OmitWindow{}, fmt.Errorf("drop=%q: window [%d, %d) is empty or negative", v, from, until)
+	}
+	return adversary.OmitWindow{Pid: pid, From: from, Until: until}, nil
 }
 
 // parseCrashEvent parses "PID@TIME".

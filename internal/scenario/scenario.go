@@ -56,8 +56,8 @@ type Scenario struct {
 	Algorithm string `json:"algorithm"`
 	// Adversary is an adversary expression over registered names
 	// (RegisterAdversary); see the expression grammar in this package's
-	// documentation. Pre-registered: fair, random, crashing, slow-set,
-	// stage-det, stage-online. Default "fair".
+	// documentation. Pre-registered: fair, random, crashing, restarting,
+	// omitting, slow-set, stage-det, stage-online. Default "fair".
 	Adversary string `json:"adversary,omitempty"`
 	// P is the number of processors, T the number of tasks.
 	P int `json:"p"`
@@ -197,6 +197,10 @@ type Options struct {
 	// CrashAfter maps pid → local steps after which the runtime backend
 	// crashes the processor.
 	CrashAfter map[int]int
+	// ReviveAfter maps pid → units of downtime after which a processor
+	// crashed by CrashAfter restarts with fresh knowledge (the runtime
+	// backend's crash-restart fault model).
+	ReviveAfter map[int]int
 }
 
 // Result is the outcome of running a Scenario: exactly one of Sim or
@@ -312,14 +316,15 @@ func RunWith(sc Scenario, opts Options) (*Result, error) {
 		return &Result{Backend: sc.Backend, Sim: res}, err
 	case BackendRuntime:
 		rep, err := rt.Run(rt.Config{
-			P:          sc.P,
-			T:          sc.T,
-			D:          int(sc.D),
-			Unit:       opts.Unit,
-			Seed:       sc.Seed,
-			Task:       opts.Task,
-			Timeout:    opts.Timeout,
-			CrashAfter: opts.CrashAfter,
+			P:           sc.P,
+			T:           sc.T,
+			D:           int(sc.D),
+			Unit:        opts.Unit,
+			Seed:        sc.Seed,
+			Task:        opts.Task,
+			Timeout:     opts.Timeout,
+			CrashAfter:  opts.CrashAfter,
+			ReviveAfter: opts.ReviveAfter,
 		}, ms)
 		if rep == nil {
 			return nil, err

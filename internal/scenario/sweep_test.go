@@ -188,13 +188,13 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 // exactly. This is the cross-PR determinism contract: engine rewrites may
 // only move ns_per_run, never the model quantities.
 func TestBench0CellsReproduce(t *testing.T) {
-	assertBenchCellsReproduce(t, "BENCH_0.json", 16, 256)
+	assertBenchCellsReproduce(t, "BENCH_0.json", 16, 256, 9)
 }
 
 // assertBenchCellsReproduce re-runs the (p, t) corner of a committed
 // baseline (PaDet excluded for its schedule-search cost) and requires
 // the recorded work/messages/solved_at to reproduce exactly.
-func assertBenchCellsReproduce(t *testing.T, file string, p, tasks int) {
+func assertBenchCellsReproduce(t *testing.T, file string, p, tasks, wantChecked int) {
 	t.Helper()
 	data, err := os.ReadFile("../../" + file)
 	if err != nil {
@@ -225,8 +225,8 @@ func assertBenchCellsReproduce(t *testing.T, file string, p, tasks int) {
 		}
 		checked++
 	}
-	if checked != 9 {
-		t.Fatalf("checked %d cells, want 9 (grid layout changed?)", checked)
+	if checked != wantChecked {
+		t.Fatalf("checked %d cells, want %d (grid layout changed?)", checked, wantChecked)
 	}
 }
 
@@ -235,7 +235,19 @@ func assertBenchCellsReproduce(t *testing.T, file string, p, tasks int) {
 // reproduce exactly under the versioned knowledge plane and the grouped
 // delivery engine.
 func TestBench1CellsReproduce(t *testing.T) {
-	assertBenchCellsReproduce(t, "BENCH_1.json", 64, 256)
+	assertBenchCellsReproduce(t, "BENCH_1.json", 64, 256, 9)
+}
+
+// TestBench2CellsReproduce extends the determinism contract to the
+// BENCH_2.json large-shape baseline: its p=1024, t=65536 corner (PaRan1
+// and DA across all three d values) must reproduce exactly under the
+// fault-plane engine — crash-restart and omission support may add no
+// observable drift to fault-free executions.
+func TestBench2CellsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-measures large shapes")
+	}
+	assertBenchCellsReproduce(t, "BENCH_2.json", 1024, 65536, 6)
 }
 
 // TestBench2SchemaReadable guards the BENCH_2.json large-shape baseline:

@@ -45,6 +45,7 @@ type Engine struct {
 	obs      Observer         // cfg.Observer; nil = zero-cost no hooks
 	batched  MulticastDelayer // adv, when it supports batched delays
 	uniform  UniformDelayer   // adv, when its delays are recipient-independent
+	omitter  Omitter          // adv, when it may omit deliveries
 	d        int64            // adv.D(), cached
 	wheel    *wheel
 	inbox    [][]Delivery
@@ -218,6 +219,7 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 	e.obs = cfg.Observer
 	e.batched, _ = adv.(MulticastDelayer)
 	e.uniform, _ = adv.(UniformDelayer)
+	e.omitter, _ = adv.(Omitter)
 	e.d = adv.D()
 	if e.wheel == nil || len(e.wheel.buckets) != wheelBuckets(e.d) {
 		e.wheel = newWheel(e.d)
@@ -498,11 +500,35 @@ func (e *Engine) tick(now int64) {
 				e.stopped++
 			}
 			e.crashed[i] = true
+			// Deliveries the processor received but never consumed are
+			// lost with the crash: release them now so their records
+			// recycle promptly (and a later revive starts with an empty
+			// inbox).
+			for _, d := range e.inbox[i] {
+				e.release(d.MC)
+			}
+			e.inbox[i] = e.inbox[i][:0]
 			if e.grouped {
 				e.dropBatches(i)
 			}
 			if e.obs != nil {
 				e.obs.OnCrash(i, now)
+			}
+		}
+	}
+	for _, i := range dec.Revive {
+		if i >= 0 && i < e.cfg.P && e.crashed[i] && !e.halted[i] {
+			e.crashed[i] = false
+			e.stopped--
+			if e.grouped {
+				// Skip every batch formed while the processor was down
+				// (its crash released its claim on them); batches formed
+				// from now on count it as a consumer again.
+				e.cursor[i] = e.batchSeq
+			}
+			RejoinMachine(e.machines[i])
+			if e.obs != nil {
+				e.obs.OnRevive(i, now)
 			}
 		}
 	}
@@ -589,6 +615,25 @@ func (e *Engine) tick(now int64) {
 			if delay < 1 || delay > e.d {
 				panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, e.d))
 			}
+			if e.omitter != nil && e.omitter.Omit(i, snd.To, now) {
+				// The send is charged, the copy never flies; the payload
+				// goes straight back to the sender's pool.
+				e.res.TotalMessages++
+				if !e.res.Solved {
+					e.res.Messages++
+					if sz, ok := snd.Payload.(Payload); ok {
+						e.res.Bytes += int64(sz.WireSize())
+					}
+				}
+				if e.obs != nil {
+					e.obs.OnOmit(i, snd.To, now)
+					e.obs.OnMulticast(i, now, snd.Payload, 1)
+				}
+				if rc := e.recyclers[i]; rc != nil {
+					rc.RecyclePayload(snd.Payload)
+				}
+				continue
+			}
 			mc := e.getMC(i, now, snd.Payload, 1)
 			e.wheel.push(wevent{mc: mc, to: int32(snd.To)}, now+delay)
 			e.inflight++
@@ -650,6 +695,10 @@ func (e *Engine) tick(now int64) {
 // reduced to zero steady-state allocations.
 func (e *Engine) broadcast(i int, now int64, payload any) {
 	p := e.cfg.P
+	if e.omitter != nil && e.omitter.OmitsAt(i, now) {
+		e.broadcastOmitting(i, now, payload)
+		return
+	}
 	mc := e.getMC(i, now, payload, int32(p-1))
 	if e.uniform != nil {
 		// Recipient-independent delays: one delay query, one validation,
@@ -701,6 +750,79 @@ func (e *Engine) broadcast(i int, now int64, payload any) {
 		}
 	}
 	e.finishMulticast(i, now, payload, p-1)
+}
+
+// broadcastOmitting schedules a multicast some of whose copies the
+// adversary omits. Delays are acquired exactly as on the standard paths
+// (uniform query, batched call, or the per-recipient loop — so stateful
+// delay streams stay aligned with the legacy engine), then every kept
+// copy is scheduled as a per-recipient event and every omitted one is
+// dropped: still charged to the sender's message complexity, never put
+// in flight. When every copy is omitted the record is recycled on the
+// spot, handing the payload back to the sender's pool.
+func (e *Engine) broadcastOmitting(i int, now int64, payload any) {
+	p := e.cfg.P
+	delays := e.delays
+	uniform := false
+	if e.uniform != nil {
+		if dl, ok := e.uniform.DelayUniform(i, now); ok {
+			for j := range delays {
+				delays[j] = dl
+			}
+			uniform = true
+		}
+	}
+	if !uniform {
+		if e.batched != nil {
+			e.batched.DelayMulticast(i, now, delays)
+		} else {
+			for j := 0; j < p; j++ {
+				if j != i {
+					delays[j] = e.adv.Delay(i, j, now)
+				}
+			}
+		}
+	}
+	mc := e.getMC(i, now, payload, 0)
+	kept := int32(0)
+	for j := 0; j < p; j++ {
+		if j == i {
+			continue
+		}
+		dl := delays[j]
+		if dl < 1 || dl > e.d {
+			panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", dl, e.d))
+		}
+		if e.omitter.Omit(i, j, now) {
+			if e.obs != nil {
+				e.obs.OnOmit(i, j, now)
+			}
+			continue
+		}
+		kept++
+		e.wheel.push(wevent{mc: mc, to: int32(j)}, now+dl)
+	}
+	// Deliveries begin at now+1 at the earliest, so setting the count
+	// after scheduling the events is safe.
+	mc.outstanding = kept
+	e.inflight += int(kept)
+	n := int64(p - 1)
+	e.res.TotalMessages += n
+	if !e.res.Solved {
+		e.res.Messages += n
+		if sz, ok := payload.(Payload); ok {
+			e.res.Bytes += int64(sz.WireSize()) * n
+		}
+	}
+	if e.obs != nil {
+		e.obs.OnMulticast(i, now, payload, p-1)
+	}
+	if kept == 0 {
+		// Every copy omitted: nothing is in flight, so the payload goes
+		// straight back to the sender's pool (after the accounting above,
+		// which still reads it).
+		e.recycleMC(mc)
+	}
 }
 
 // finishMulticast applies the message accounting and observer hook shared

@@ -31,6 +31,7 @@ func RunLegacy(cfg Config, machines []Machine, adv Adversary) (*Result, error) {
 			FirstDoneAt: make([]int64, cfg.T),
 		},
 	}
+	s.omitter, _ = adv.(Omitter)
 	for z := range s.res.FirstDoneAt {
 		s.res.FirstDoneAt[z] = -1
 	}
@@ -72,6 +73,7 @@ type legacyState struct {
 	cfg      Config
 	machines []Machine
 	adv      Adversary
+	omitter  Omitter // adv, when it may omit deliveries
 	inbox    [][]Delivery
 	pending  *delayQueue
 	crashed  []bool
@@ -120,7 +122,19 @@ func (s *legacyState) tick(now int64) {
 	s.adv.Schedule(v, dec)
 	for _, i := range dec.Crash {
 		if i >= 0 && i < s.cfg.P {
+			if !s.crashed[i] {
+				// Deliveries received but never consumed are lost with the
+				// crash (matching the multicast engine), so a later revive
+				// starts with an empty inbox.
+				s.inbox[i] = nil
+			}
 			s.crashed[i] = true
+		}
+	}
+	for _, i := range dec.Revive {
+		if i >= 0 && i < s.cfg.P && s.crashed[i] && !s.halted[i] {
+			s.crashed[i] = false
+			RejoinMachine(s.machines[i])
 		}
 	}
 
@@ -168,7 +182,12 @@ func (s *legacyState) tick(now int64) {
 				if delay < 1 || delay > s.adv.D() {
 					panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, s.adv.D()))
 				}
-				s.pending.push(Message{From: i, To: j, SentAt: now, DeliverAt: now + delay, Payload: r.Broadcast})
+				// An omitted copy is charged as sent but never queued (the
+				// delay was still drawn, keeping stateful delay streams
+				// aligned with the multicast engine).
+				if s.omitter == nil || !s.omitter.Omit(i, j, now) {
+					s.pending.push(Message{From: i, To: j, SentAt: now, DeliverAt: now + delay, Payload: r.Broadcast})
+				}
 				s.res.TotalMessages++
 				if !s.res.Solved {
 					s.res.Messages++
@@ -185,7 +204,9 @@ func (s *legacyState) tick(now int64) {
 			if delay < 1 || delay > s.adv.D() {
 				panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, s.adv.D()))
 			}
-			s.pending.push(Message{From: i, To: snd.To, SentAt: now, DeliverAt: now + delay, Payload: snd.Payload})
+			if s.omitter == nil || !s.omitter.Omit(i, snd.To, now) {
+				s.pending.push(Message{From: i, To: snd.To, SentAt: now, DeliverAt: now + delay, Payload: snd.Payload})
+			}
 			s.res.TotalMessages++
 			if !s.res.Solved {
 				s.res.Messages++

@@ -27,6 +27,15 @@ type Observer interface {
 	OnDeliver(m Message)
 	// OnCrash fires when the adversary crashes processor pid at time now.
 	OnCrash(pid int, now int64)
+	// OnRevive fires when the adversary revives crashed processor pid at
+	// time now (the restartable-crash model); the machine has already
+	// rejoined with fresh knowledge when the hook runs.
+	OnRevive(pid int, now int64)
+	// OnOmit fires when the network omits (drops) the copy of a multicast
+	// from `from` sent at `sentAt` that was addressed to `to`. The send
+	// itself is still reported through OnMulticast with its full recipient
+	// count.
+	OnOmit(from, to int, sentAt int64)
 	// OnSolved fires once, at the time unit σ the problem became solved
 	// (all tasks done and some live processor informed). res is the
 	// engine's live Result; treat it as read-only and do not retain it.
@@ -49,6 +58,12 @@ func (NopObserver) OnDeliver(Message) {}
 // OnCrash implements Observer.
 func (NopObserver) OnCrash(int, int64) {}
 
+// OnRevive implements Observer.
+func (NopObserver) OnRevive(int, int64) {}
+
+// OnOmit implements Observer.
+func (NopObserver) OnOmit(int, int, int64) {}
+
 // OnSolved implements Observer.
 func (NopObserver) OnSolved(int64, *Result) {}
 
@@ -60,6 +75,8 @@ type FuncObserver struct {
 	Multicast func(from int, now int64, payload any, recipients int)
 	Deliver   func(m Message)
 	Crash     func(pid int, now int64)
+	Revive    func(pid int, now int64)
+	Omit      func(from, to int, sentAt int64)
 	Solved    func(now int64, res *Result)
 }
 
@@ -90,6 +107,20 @@ func (o *FuncObserver) OnDeliver(m Message) {
 func (o *FuncObserver) OnCrash(pid int, now int64) {
 	if o.Crash != nil {
 		o.Crash(pid, now)
+	}
+}
+
+// OnRevive implements Observer.
+func (o *FuncObserver) OnRevive(pid int, now int64) {
+	if o.Revive != nil {
+		o.Revive(pid, now)
+	}
+}
+
+// OnOmit implements Observer.
+func (o *FuncObserver) OnOmit(from, to int, sentAt int64) {
+	if o.Omit != nil {
+		o.Omit(from, to, sentAt)
 	}
 }
 
@@ -138,6 +169,24 @@ func (m MultiObserver) OnCrash(pid int, now int64) {
 	for _, o := range m {
 		if o != nil {
 			o.OnCrash(pid, now)
+		}
+	}
+}
+
+// OnRevive implements Observer.
+func (m MultiObserver) OnRevive(pid int, now int64) {
+	for _, o := range m {
+		if o != nil {
+			o.OnRevive(pid, now)
+		}
+	}
+}
+
+// OnOmit implements Observer.
+func (m MultiObserver) OnOmit(from, to int, sentAt int64) {
+	for _, o := range m {
+		if o != nil {
+			o.OnOmit(from, to, sentAt)
 		}
 	}
 }

@@ -17,6 +17,8 @@ type countingObserver struct {
 	multicasts int64
 	delivered  int64
 	crashes    int64
+	revives    int64
+	omits      int64
 	solvedAt   int64
 	solvedHits int
 }
@@ -29,6 +31,12 @@ func (c *countingObserver) OnMulticast(from int, now int64, payload any, recipie
 func (c *countingObserver) OnDeliver(m sim.Message) { c.delivered++ }
 func (c *countingObserver) OnCrash(pid int, now int64) {
 	c.crashes++
+}
+func (c *countingObserver) OnRevive(pid int, now int64) {
+	c.revives++
+}
+func (c *countingObserver) OnOmit(from, to int, sentAt int64) {
+	c.omits++
 }
 func (c *countingObserver) OnSolved(now int64, res *sim.Result) {
 	c.solvedHits++

@@ -200,6 +200,39 @@ type Resetter interface {
 	Reset()
 }
 
+// Rejoiner is an optional Machine extension for the crash-restart fault
+// model: Rejoin restores the machine to fresh initial knowledge when the
+// adversary revives it after a crash (Decision.Revive). Rejoin differs
+// from Resetter.Reset in one crucial way — it is called mid-run, while
+// snapshots the machine broadcast before crashing may still be in flight,
+// so implementations must not invalidate or recycle previously published
+// payload buffers. Knowledge-bearing machines rejoin by rebasing: the
+// next broadcast travels as a full (non-delta) snapshot and receivers'
+// stale per-sender cursors fall back to full merges, which is safe by
+// monotonicity. Machines without Rejoin are revived via Resetter when
+// they implement it, and with their pre-crash state otherwise (see
+// RejoinMachine).
+type Rejoiner interface {
+	Rejoin()
+}
+
+// RejoinMachine restores a machine for crash-restart re-entry: Rejoin
+// when supported, falling back to Reset (safe for machines that never
+// publish pooled payloads), reporting whether either ran. Both engines
+// and the goroutine runtime use it, so revival semantics are identical
+// across substrates.
+func RejoinMachine(m Machine) bool {
+	if rj, ok := m.(Rejoiner); ok {
+		rj.Rejoin()
+		return true
+	}
+	if rs, ok := m.(Resetter); ok {
+		rs.Reset()
+		return true
+	}
+	return false
+}
+
 // PayloadRecycler is an optional Machine extension closing the payload
 // allocation loop: when every recipient of a multicast has consumed (or,
 // being crashed or halted, missed) its delivery, the engine hands the
@@ -309,6 +342,13 @@ type Decision struct {
 	Active []int
 	// Crash lists processors that crash at the start of this unit.
 	Crash []int
+	// Revive lists crashed processors that restart at the start of this
+	// unit (the restartable-crash fault model). A revived processor
+	// re-enters the live set with fresh initial knowledge (RejoinMachine);
+	// deliveries it missed while down are lost. Entries naming live,
+	// halted, or out-of-range processors are ignored. Crashes are applied
+	// before revives within one unit.
+	Revive []int
 	// NextWake, when positive and Active is empty (or contains only
 	// crashed/halted processors), promises that the adversary will not
 	// activate any processor strictly before time NextWake. The engine
@@ -330,6 +370,7 @@ type Decision struct {
 func (d *Decision) reset() {
 	d.Active = d.Active[:0]
 	d.Crash = d.Crash[:0]
+	d.Revive = d.Revive[:0]
 	d.NextWake = 0
 }
 
@@ -379,6 +420,26 @@ type MulticastDelayer interface {
 // and the engine falls back to the per-recipient path.
 type UniformDelayer interface {
 	DelayUniform(from int, sentAt int64) (delay int64, ok bool)
+}
+
+// Omitter is an optional Adversary extension modeling message-omission
+// faults: individual copies of a multicast are dropped by the network and
+// never delivered, while the send is still charged to the sender's
+// message complexity (omission is a network fault, not a refund). Both
+// methods must be pure functions of their arguments — the engines consult
+// them on different schedules (the multicast engine asks OmitsAt once per
+// broadcast and Omit only per recipient of an omitting one; the legacy
+// engine and the runtime ask Omit per recipient unconditionally), so
+// stateful implementations would diverge across substrates.
+type Omitter interface {
+	// OmitsAt reports whether any copy of a multicast sent by `from` at
+	// `sentAt` may be omitted. A false return lets the engine keep its
+	// uniform single-event broadcast fast path for that send.
+	OmitsAt(from int, sentAt int64) bool
+	// Omit reports whether the copy addressed to `to` is dropped.
+	// Dropping a strict subset of the recipients models
+	// deliver-to-subset omission.
+	Omit(from, to int, sentAt int64) bool
 }
 
 // Result aggregates the complexity measures of one execution.

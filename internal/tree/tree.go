@@ -299,6 +299,23 @@ func (t *Tree) ResetPadded(tasks int) {
 	}
 }
 
+// RejoinPadded restores the tree to its initial state for a crash-restart
+// mid-run: every node cleared and the padding leaves re-marked, like
+// ResetPadded, but through the versioned set's Rejoin so the version
+// counter stays monotone and the next snapshot travels as a full rebase
+// (in-flight pre-crash snapshots stay valid). Plain trees fall back to a
+// simple clear.
+func (t *Tree) RejoinPadded(tasks int) {
+	if t.vers != nil {
+		t.vers.Rejoin()
+	} else {
+		t.done.ClearAll()
+	}
+	for i := tasks; i < t.leaves; i++ {
+		t.MarkLeaf(i)
+	}
+}
+
 // Clone returns a deep copy of the tree (including the versioned view,
 // when attached; the clone's snapshot pools start empty).
 func (t *Tree) Clone() *Tree {

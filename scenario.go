@@ -88,7 +88,7 @@ func RegisteredAdversaries() []string { return scenario.Adversaries() }
 // costs one branch per event.
 type (
 	// Observer is the engine hook set (OnStep/OnMulticast/OnDeliver/
-	// OnCrash/OnSolved).
+	// OnCrash/OnRevive/OnOmit/OnSolved).
 	Observer = sim.Observer
 	// FuncObserver adapts optional funcs to Observer; nil fields are
 	// skipped.
