@@ -32,8 +32,13 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "random seed")
 		dsweep   = flag.Bool("dsweep", false, "sweep d-contention of a random list instead of searching")
 		samples  = flag.Int("samples", 100, "σ probes for contention estimates")
+		version  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("contention", doall.Version())
+		return nil
+	}
 	if *k == 0 {
 		*k = *n
 	}

@@ -43,6 +43,7 @@ type cliFlags struct {
 	trials   int
 	restarts int
 	spec     string
+	version  bool
 }
 
 // parseFlags parses args into cliFlags without touching the global flag
@@ -60,6 +61,7 @@ func parseFlags(args []string) (cliFlags, error) {
 	fs.IntVar(&c.trials, "trials", 1, "trials to average over (varies the seed)")
 	fs.IntVar(&c.restarts, "restarts", 32, "permutation-search restarts")
 	fs.StringVar(&c.spec, "spec", "", "JSON Scenario document (overrides the individual flags)")
+	fs.BoolVar(&c.version, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return cliFlags{}, err
 	}
@@ -89,6 +91,10 @@ func run(args []string, w io.Writer) error {
 	c, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	if c.version {
+		fmt.Fprintln(w, "doall", doall.Version())
+		return nil
 	}
 	sc, err := c.scenario()
 	if err != nil {

@@ -1,0 +1,278 @@
+// Command doallctl is the thin client of the Do-All service daemon
+// (cmd/doalld). It holds no state: every subcommand is one or two HTTP
+// calls against the daemon's JSON API.
+//
+// Usage:
+//
+//	doallctl [-addr http://127.0.0.1:7117] <command> [flags]
+//
+//	doallctl submit -f job.json            # submit a job document
+//	doallctl submit -f sweep.json -wait    # ...and follow it to completion
+//	echo '{"algorithm":"DA",...}' | doallctl submit -f -
+//	doallctl status j000001                # one job's progress
+//	doallctl results j000001               # stream cells as NDJSON (live)
+//	doallctl results j000001 -o cells.ndjson
+//	doallctl cancel j000001
+//	doallctl list                          # all jobs, submission order
+//	doallctl drain                         # stop the daemon's admission
+//	doallctl version                       # client and daemon versions
+//
+// The daemon address comes from -addr or $DOALLD_ADDR. A submitted job
+// document is either {"scenario": {...}} / {"sweep": {...}} with
+// optional "priority" and "timeout" ("30s"), a bare scenario document,
+// or a bare sweep spec — the same JSON forms the rest of the toolchain
+// reads and writes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"doall"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "doallctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(errw io.Writer) {
+	fmt.Fprintln(errw, `usage: doallctl [-addr URL] <command> [flags]
+
+commands:
+  submit   submit a job document (-f file, "-" for stdin; -priority, -timeout, -wait)
+  status   show one job: doallctl status <id>
+  results  stream a job's cells as NDJSON: doallctl results <id> [-o file]
+  cancel   cancel a job: doallctl cancel <id>
+  list     list all jobs
+  drain    stop the daemon's admission (running jobs finish)
+  version  print client and daemon versions
+
+The daemon address defaults to $DOALLD_ADDR, then http://127.0.0.1:7117.`)
+}
+
+func run(ctx context.Context, args []string, w, errw io.Writer) error {
+	defaultAddr := os.Getenv("DOALLD_ADDR")
+	if defaultAddr == "" {
+		defaultAddr = "http://127.0.0.1:7117"
+	}
+	var (
+		addr    string
+		version bool
+	)
+	fs := flag.NewFlagSet("doallctl", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.Usage = func() { usage(errw) }
+	fs.StringVar(&addr, "addr", defaultAddr, "daemon base URL")
+	fs.BoolVar(&version, "version", false, "print the client build version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if version {
+		fmt.Fprintln(w, "doallctl", doall.Version())
+		return nil
+	}
+	if fs.NArg() == 0 {
+		usage(errw)
+		return fmt.Errorf("no command")
+	}
+	c := &doall.ServiceClient{Base: addr}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(ctx, c, rest, w, errw)
+	case "status":
+		return cmdStatus(ctx, c, rest, w, errw)
+	case "results":
+		return cmdResults(ctx, c, rest, w, errw)
+	case "cancel":
+		return cmdCancel(ctx, c, rest, w, errw)
+	case "list":
+		return cmdList(ctx, c, w)
+	case "drain":
+		n, err := c.Drain(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "draining; %d job(s) still open\n", n)
+		return nil
+	case "version":
+		fmt.Fprintln(w, "client:", doall.Version())
+		v, err := c.Version(ctx)
+		if err != nil {
+			return fmt.Errorf("daemon unreachable at %s: %w", addr, err)
+		}
+		fmt.Fprintln(w, "daemon:", v)
+		return nil
+	default:
+		usage(errw)
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func cmdSubmit(ctx context.Context, c *doall.ServiceClient, args []string, w, errw io.Writer) error {
+	var (
+		file     string
+		priority int
+		timeout  time.Duration
+		wait     bool
+	)
+	fs := flag.NewFlagSet("doallctl submit", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.StringVar(&file, "f", "", `job document file ("-" = stdin)`)
+	fs.IntVar(&priority, "priority", 0, "queue priority (higher runs first; overrides the document)")
+	fs.DurationVar(&timeout, "timeout", 0, "wall-clock budget for the job (overrides the document)")
+	fs.BoolVar(&wait, "wait", false, "block until the job is terminal and exit non-zero if it failed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if file == "" {
+		return fmt.Errorf("submit: -f required (a job document, or \"-\" for stdin)")
+	}
+	var (
+		doc []byte
+		err error
+	)
+	if file == "-" {
+		doc, err = io.ReadAll(os.Stdin)
+	} else {
+		doc, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return err
+	}
+	// Re-parse locally so flag overrides compose with any form of
+	// document, and malformed jobs fail client-side with the same error
+	// the daemon would give.
+	job, err := doall.ParseJob(doc)
+	if err != nil {
+		return err
+	}
+	if priority != 0 {
+		job.Priority = priority
+	}
+	if timeout != 0 {
+		job.Timeout = doall.JobDuration(timeout)
+	}
+	st, err := c.Submit(ctx, job)
+	if err != nil {
+		return err
+	}
+	if !wait {
+		return printJSON(w, st)
+	}
+	fmt.Fprintf(errw, "submitted %s (%d cells); waiting\n", st.ID, st.CellsTotal)
+	st, err = c.WaitDone(ctx, st.ID, 200*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if err := printJSON(w, st); err != nil {
+		return err
+	}
+	if st.State != doall.JobDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Err)
+	}
+	return nil
+}
+
+func cmdStatus(ctx context.Context, c *doall.ServiceClient, args []string, w, errw io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("status: want exactly one job id")
+	}
+	st, err := c.Status(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(w, st)
+}
+
+func cmdResults(ctx context.Context, c *doall.ServiceClient, args []string, w, errw io.Writer) error {
+	// Accept "results <id> -o file" as well as "results -o file <id>".
+	id := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	var out string
+	fs := flag.NewFlagSet("doallctl results", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.StringVar(&out, "o", "", "write the NDJSON stream to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case id == "" && fs.NArg() == 1:
+		id = fs.Arg(0)
+	case id != "" && fs.NArg() == 0:
+	default:
+		return fmt.Errorf("results: want exactly one job id")
+	}
+	dst := w
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	tr, err := c.Results(ctx, id, func(rc doall.ResultCell) error {
+		return enc.Encode(rc)
+	})
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(tr); err != nil {
+		return err
+	}
+	if tr.Interrupted {
+		return fmt.Errorf("stream interrupted (daemon shutting down); re-run after restart to resume")
+	}
+	return nil
+}
+
+func cmdCancel(ctx context.Context, c *doall.ServiceClient, args []string, w, errw io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel: want exactly one job id")
+	}
+	st, err := c.Cancel(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(w, st)
+}
+
+func cmdList(ctx context.Context, c *doall.ServiceClient, w io.Writer) error {
+	jobs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(w, "no jobs")
+		return nil
+	}
+	fmt.Fprintf(w, "%-10s %-9s %-9s %5s  %11s  %s\n", "ID", "KIND", "STATE", "PRIO", "CELLS", "ERR")
+	for _, j := range jobs {
+		fmt.Fprintf(w, "%-10s %-9s %-9s %5d  %5d/%5d  %s\n",
+			j.ID, j.Kind, j.State, j.Priority, j.CellsDone, j.CellsTotal, j.Err)
+	}
+	return nil
+}

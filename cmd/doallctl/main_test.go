@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doall"
+)
+
+// newDaemon stands up a real in-process service behind httptest and
+// returns its base URL.
+func newDaemon(t *testing.T, workers int) string {
+	t.Helper()
+	svc, err := doall.NewService(doall.ServiceConfig{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		svc.Close()
+		ts.Close()
+	})
+	return ts.URL
+}
+
+func ctl(t *testing.T, addr string, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(context.Background(), append([]string{"-addr", addr}, args...), &out, &strings.Builder{})
+	return out.String(), err
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &out, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), doall.Version()) {
+		t.Fatalf("-version printed %q", out.String())
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if _, err := ctl(t, "http://127.0.0.1:1", "transmogrify"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	var errw strings.Builder
+	if err := run(context.Background(), nil, &strings.Builder{}, &errw); err == nil {
+		t.Fatal("no command accepted")
+	} else if !strings.Contains(errw.String(), "usage:") {
+		t.Fatalf("no usage printed: %q", errw.String())
+	}
+}
+
+func TestSubmitWaitStatusResultsList(t *testing.T) {
+	addr := newDaemon(t, 2)
+	dir := t.TempDir()
+	jobFile := filepath.Join(dir, "job.json")
+	doc := `{"sweep":{"algos":["PaRan1"],"p":[4,8],"t":[16],"d":[1,2]},"timeout":"5m"}`
+	if err := os.WriteFile(jobFile, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := ctl(t, addr, "submit", "-f", jobFile, "-wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st doall.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("submit -wait printed %q: %v", out, err)
+	}
+	if st.State != doall.JobDone || st.CellsDone != 4 {
+		t.Fatalf("job after -wait: %+v", st)
+	}
+
+	out, err = ctl(t, addr, "status", st.ID)
+	if err != nil || !strings.Contains(out, `"state": "done"`) {
+		t.Fatalf("status: %q, %v", out, err)
+	}
+
+	resFile := filepath.Join(dir, "cells.ndjson")
+	if _, err := ctl(t, addr, "results", st.ID, "-o", resFile); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(resFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 { // 4 cells + trailer
+		t.Fatalf("results wrote %d lines, want 5:\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[4], `"done":true`) {
+		t.Fatalf("last line is not a done trailer: %s", lines[4])
+	}
+
+	out, err = ctl(t, addr, "list")
+	if err != nil || !strings.Contains(out, st.ID) {
+		t.Fatalf("list: %q, %v", out, err)
+	}
+}
+
+func TestCancelAndDrain(t *testing.T) {
+	addr := newDaemon(t, -1) // no fleet: jobs stay queued
+	dir := t.TempDir()
+	jobFile := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(jobFile, []byte(`{"algos":["DA"],"p":[4],"t":[16],"d":[1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctl(t, addr, "submit", "-f", jobFile, "-priority", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st doall.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Priority != 7 {
+		t.Fatalf("-priority override lost: %+v", st)
+	}
+
+	out, err = ctl(t, addr, "cancel", st.ID)
+	if err != nil || !strings.Contains(out, `"state": "canceled"`) {
+		t.Fatalf("cancel: %q, %v", out, err)
+	}
+
+	if _, err := ctl(t, addr, "drain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl(t, addr, "submit", "-f", jobFile); err == nil {
+		t.Fatal("submit after drain succeeded")
+	}
+
+	// version against a live daemon reports both sides.
+	out, err = ctl(t, addr, "version")
+	if err != nil || !strings.Contains(out, "client:") || !strings.Contains(out, "daemon:") {
+		t.Fatalf("version: %q, %v", out, err)
+	}
+}
+
+func TestSubmitRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nonsense":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed documents fail client-side — no daemon needed.
+	if _, err := ctl(t, "http://127.0.0.1:1", "submit", "-f", bad); err == nil {
+		t.Fatal("malformed job accepted")
+	}
+	if _, err := ctl(t, "http://127.0.0.1:1", "submit"); err == nil {
+		t.Fatal("submit without -f accepted")
+	}
+}

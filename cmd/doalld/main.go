@@ -1,0 +1,176 @@
+// Command doalld is the Do-All service daemon: a long-running process
+// that accepts scenario and sweep jobs over a local HTTP JSON API, runs
+// them cell by cell on a shared fleet of reusable simulation engines,
+// streams per-cell results as they complete, and checkpoints progress to
+// a write-ahead log so jobs survive restarts. cmd/doallctl is the
+// matching client.
+//
+// Usage:
+//
+//	doalld                                   # listen on 127.0.0.1:7117
+//	doalld -listen 127.0.0.1:0               # ephemeral port (printed)
+//	doalld -checkpoint doalld.wal            # persist and resume jobs
+//	doalld -workers 8 -queue 128 -maxmem 4g  # fleet, queue, admission
+//	doalld -timeout 10m                      # default per-job budget
+//	doalld -version
+//
+// API: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/results (live NDJSON), DELETE /v1/jobs/{id},
+// POST /v1/drain, GET /healthz, GET /metrics, GET /v1/version.
+//
+// SIGINT/SIGTERM shut down gracefully: admission stops, in-flight cells
+// finish and are checkpointed, result streams end with an interrupted
+// trailer, and queued work resumes on the next start with the same
+// -checkpoint path. A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"doall"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, stop, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "doalld:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body with injectable context and streams, so tests
+// can drive a full serve/shutdown cycle in-process. secondSignal restores
+// default signal handling so a second ^C kills the process immediately.
+func run(ctx context.Context, secondSignal context.CancelFunc, args []string, w, errw io.Writer) error {
+	var (
+		listen     string
+		workers    int
+		queue      int
+		maxcells   int
+		checkpoint string
+		fsync      bool
+		maxmem     string
+		timeout    time.Duration
+		version    bool
+	)
+	fs := flag.NewFlagSet("doalld", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.StringVar(&listen, "listen", "127.0.0.1:7117", "address to serve the API on (host:0 picks an ephemeral port)")
+	fs.IntVar(&workers, "workers", 0, "engine fleet size: cells simulated concurrently (0 = GOMAXPROCS)")
+	fs.IntVar(&queue, "queue", 64, "max jobs admitted but not yet finished")
+	fs.IntVar(&maxcells, "maxcells", 0, "max cells in one job's grid (0 = default 1048576)")
+	fs.StringVar(&checkpoint, "checkpoint", "", "write-ahead checkpoint log path; jobs resume from it on restart (empty = no persistence)")
+	fs.BoolVar(&fsync, "fsync", false, "fsync the checkpoint log per record (survives machine crashes, not just process deaths)")
+	fs.StringVar(&maxmem, "maxmem", "", "reject sweep jobs whose estimated memory exceeds this budget (e.g. 4g, 512m)")
+	fs.DurationVar(&timeout, "timeout", 0, "default wall-clock budget per job (0 = unlimited; jobs may declare their own)")
+	fs.BoolVar(&version, "version", false, "print the build version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if version {
+		fmt.Fprintln(w, "doalld", doall.Version())
+		return nil
+	}
+
+	cfg := doall.ServiceConfig{
+		Workers:        workers,
+		QueueLimit:     queue,
+		MaxCells:       maxcells,
+		Checkpoint:     checkpoint,
+		Fsync:          fsync,
+		DefaultTimeout: timeout,
+	}
+	if maxmem != "" {
+		budget, err := parseBytes(maxmem)
+		if err != nil {
+			return fmt.Errorf("-maxmem: %w", err)
+		}
+		cfg.MaxMem = budget
+	}
+
+	svc, err := doall.NewService(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	// The addr line is machine-readable on purpose: with -listen host:0,
+	// scripts (and the CI smoke test) scrape the assigned port from it.
+	fmt.Fprintf(w, "doalld %s listening on %s\n", doall.Version(), ln.Addr())
+	if checkpoint != "" {
+		if n := svc.ActiveJobs(); n > 0 {
+			fmt.Fprintf(w, "doalld: resumed %d unfinished job(s) from %s\n", n, checkpoint)
+		}
+	}
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: a second signal now kills the process the
+	// default way; meanwhile admission stops, in-flight cells finish and
+	// checkpoint, then the HTTP server drains.
+	if secondSignal != nil {
+		secondSignal()
+	}
+	fmt.Fprintln(w, "doalld: shutting down — finishing in-flight cells (signal again to kill)")
+	svc.Drain()
+	closeErr := svc.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+	}
+	<-serveErr // Serve has returned ErrServerClosed by now
+	fmt.Fprintln(w, "doalld: checkpointed and stopped")
+	return closeErr
+}
+
+// parseBytes parses a byte budget: a plain integer, or with a k/m/g/t
+// suffix (binary units, case-insensitive, optional trailing 'b'/'ib').
+func parseBytes(s string) (int64, error) {
+	orig := s
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.TrimSuffix(s, "ib")
+	s = strings.TrimSuffix(s, "b")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "t"):
+		mult, s = 1<<40, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad byte budget %q (want e.g. 4g, 512m, 1073741824)", orig)
+	}
+	return v * mult, nil
+}

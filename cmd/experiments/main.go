@@ -31,21 +31,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"doall"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the sweep context: in-flight cells stop at
+	// their next trial boundary and the report is still written, with
+	// "partial": true. A second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runContext(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -201,6 +210,14 @@ func run(args []string, w io.Writer) error { return runWithStderr(args, w, os.St
 // runWithStderr is run with an injectable stderr so the -progress meter is
 // testable.
 func runWithStderr(args []string, w, errw io.Writer) error {
+	return runContext(context.Background(), args, w, errw)
+}
+
+// runContext is the full command body with an injectable context: when
+// it is canceled (SIGINT, or the -timeout budget expiring), a running
+// sweep stops at the next trial boundary and still writes its report,
+// marked partial.
+func runContext(ctx context.Context, args []string, w, errw io.Writer) error {
 	var (
 		f          sweepFlags
 		scale      string
@@ -209,6 +226,8 @@ func runWithStderr(args []string, w, errw io.Writer) error {
 		sweep      bool
 		out        string
 		progress   bool
+		timeout    time.Duration
+		version    bool
 		cpuprofile string
 		memprofile string
 	)
@@ -219,6 +238,8 @@ func runWithStderr(args []string, w, errw io.Writer) error {
 	fs.StringVar(&cpuprofile, "cpuprofile", "", "write a CPU profile of the workload to this file")
 	fs.StringVar(&memprofile, "memprofile", "", "write an allocation profile to this file after the workload")
 	fs.BoolVar(&progress, "progress", false, "sweep: print a live cells-completed meter to stderr")
+	fs.DurationVar(&timeout, "timeout", 0, "sweep: wall-clock budget; on expiry the report is written with the cells completed so far, marked partial (0 = unlimited)")
+	fs.BoolVar(&version, "version", false, "print the build version and exit")
 
 	fs.BoolVar(&sweep, "sweep", false, "run the sharded (algo,adv,p,t,d) sweep instead of E1–E10")
 	fs.StringVar(&out, "out", "", "sweep: write the JSON report to this file (default stdout)")
@@ -236,11 +257,20 @@ func runWithStderr(args []string, w, errw io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if version {
+		fmt.Fprintln(w, "experiments", doall.Version())
+		return nil
+	}
 
 	if sweep {
 		cfg, err := f.config()
 		if err != nil {
 			return err
+		}
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
 		}
 		if progress {
 			// Progress fires concurrently from worker goroutines in
@@ -262,7 +292,7 @@ func runWithStderr(args []string, w, errw io.Writer) error {
 			}
 		}
 		return withProfiles(cpuprofile, memprofile, func() error {
-			return writeSweep(cfg, out, w)
+			return writeSweep(ctx, cfg, out, w, errw)
 		})
 	}
 
@@ -337,7 +367,7 @@ func withProfiles(cpuprofile, memprofile string, work func() error) error {
 	return nil
 }
 
-func writeSweep(cfg doall.SweepConfig, out string, w io.Writer) error {
+func writeSweep(ctx context.Context, cfg doall.SweepConfig, out string, w, errw io.Writer) error {
 	// Open the output before burning sweep time: a bad path must fail
 	// fast, not after a multi-minute grid.
 	if out != "" {
@@ -348,7 +378,13 @@ func writeSweep(cfg doall.SweepConfig, out string, w io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	rep := doall.NewSweepReport(cfg)
+	rep, err := doall.NewSweepReportContext(ctx, cfg)
+	if err != nil {
+		// Interrupted (-timeout, SIGINT): the completed cells are still
+		// worth the disk they land on — write the report marked partial
+		// and say so, instead of discarding finished work.
+		fmt.Fprintf(errw, "sweep interrupted (%v): writing partial report\n", err)
+	}
 	return rep.WriteJSON(w)
 }
 

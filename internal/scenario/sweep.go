@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"hash/fnv"
 	"io"
@@ -166,9 +167,24 @@ func (c SweepConfig) Specs() []Scenario {
 // per worker instead of once per run — buffer reuse that the engine
 // guarantees is invisible in the Results.
 func RunSweep(c SweepConfig) []Cell {
+	cells, _ := RunSweepContext(context.Background(), c)
+	return cells
+}
+
+// RunSweepContext is RunSweep with cooperative cancellation: when ctx ends,
+// workers stop claiming cells and the current cell aborts at its next trial
+// boundary. The returned error is ctx.Err() (nil for a complete sweep);
+// cells that never ran, or were cut short mid-cell, carry the context error
+// in Cell.Err with their identity columns intact, so a partial report stays
+// schema-valid and shows exactly what is missing. Cancellation granularity
+// is one trial: a single enormous cell is bounded by MaxSteps, not by ctx.
+// With a background context the behavior — and every byte of the result —
+// is identical to RunSweep's.
+func RunSweepContext(ctx context.Context, c SweepConfig) ([]Cell, error) {
 	c = c.withDefaults()
 	specs := c.Specs()
 	cells := make([]Cell, len(specs))
+	ran := make([]bool, len(specs))
 	workers := c.Workers
 	if workers > len(specs) {
 		workers = len(specs)
@@ -182,13 +198,11 @@ func RunSweep(c SweepConfig) []Cell {
 			eng := sim.NewEngine()
 			for {
 				i := int(cursor.Add(1)) - 1
-				if i >= len(specs) {
+				if i >= len(specs) || ctx.Err() != nil {
 					return
 				}
-				cells[i] = runCell(specs[i], c.Trials, eng)
-				if c.Theory {
-					addTheory(&cells[i])
-				}
+				cells[i] = RunCellOn(ctx, eng, specs[i], c.Trials, c.Theory)
+				ran[i] = true
 				if done := int(completed.Add(1)); c.Progress != nil {
 					c.Progress(done, len(specs))
 				}
@@ -196,21 +210,59 @@ func RunSweep(c SweepConfig) []Cell {
 		}()
 	}
 	wg.Wait()
-	return cells
+	if err := ctx.Err(); err != nil {
+		// Stamp identity columns onto the cells that never ran so the
+		// partial report still names every grid point.
+		for i := range cells {
+			if !ran[i] {
+				sc := specs[i]
+				cells[i] = Cell{
+					Algo: sc.Algorithm, Adversary: sc.Adversary,
+					P: sc.P, T: sc.T, D: sc.D, Seed: sc.Seed, Trials: c.Trials,
+					Err: err.Error(),
+				}
+			}
+		}
+		return cells, err
+	}
+	return cells, nil
 }
 
-// runCell executes one grid cell's trials on the worker's reusable engine
-// and averages the measures.
-func runCell(sc Scenario, trials int, eng *sim.Engine) Cell {
+// RunCellOn executes one grid cell — trials runs with seeds sc.Seed,
+// sc.Seed+1, … on the caller's reusable engine — and averages the
+// measures, optionally adding the closed-form theory columns. It is the
+// unit of work the sweep runner shards across workers, exported so the
+// service plane can run (and checkpoint) a sweep cell by cell: because a
+// cell's seed is derived from its coordinates alone, running cells
+// individually, in any order, on any engine, reproduces RunSweep's cells
+// exactly (NsPerRun, a wall-clock observation, excepted). ctx cancels at
+// trial boundaries; a canceled cell reports ctx's error, never a partial
+// average.
+func RunCellOn(ctx context.Context, eng *sim.Engine, sc Scenario, trials int, theory bool) Cell {
+	return RunCellObserved(ctx, eng, sc, trials, theory, nil)
+}
+
+// RunCellObserved is RunCellOn with an Observer tapped into every trial's
+// engine events (nil costs nothing); observers see events but never
+// results, so observed cells stay byte-identical to unobserved ones.
+func RunCellObserved(ctx context.Context, eng *sim.Engine, sc Scenario, trials int, theory bool, obs Observer) Cell {
+	if trials < 1 {
+		trials = 1
+	}
 	cell := Cell{
 		Algo: sc.Algorithm, Adversary: sc.Adversary,
 		P: sc.P, T: sc.T, D: sc.D, Seed: sc.Seed, Trials: trials,
 	}
 	start := time.Now()
 	for i := 0; i < trials; i++ {
+		if err := ctx.Err(); err != nil {
+			cell.Work, cell.Messages, cell.SolvedAt = 0, 0, 0
+			cell.Err = err.Error()
+			return cell
+		}
 		run := sc
 		run.Seed = sc.Seed + int64(i)
-		res, err := RunOn(eng, run)
+		res, err := RunOnWith(eng, run, Options{Observer: obs})
 		if err != nil {
 			// Drop the partial sums: a failed cell reports only its error,
 			// never a misleading fraction of an average.
@@ -226,6 +278,9 @@ func runCell(sc Scenario, trials int, eng *sim.Engine) Cell {
 	cell.Work /= float64(trials)
 	cell.Messages /= float64(trials)
 	cell.SolvedAt /= float64(trials)
+	if theory {
+		addTheory(&cell)
+	}
 	return cell
 }
 
@@ -254,21 +309,38 @@ type SweepReport struct {
 	// BaseSeed reproduces the sweep exactly.
 	BaseSeed int64 `json:"base_seed"`
 	// Theory records whether the cells carry closed-form theory columns.
-	Theory bool   `json:"theory,omitempty"`
-	Cells  []Cell `json:"cells"`
+	Theory bool `json:"theory,omitempty"`
+	// Partial marks a report flushed after cancellation (wall-clock
+	// timeout or SIGINT): cells that never ran carry the cancellation
+	// error instead of measurements. Complete reports omit it.
+	Partial bool   `json:"partial,omitempty"`
+	Cells   []Cell `json:"cells"`
 }
 
 // NewSweepReport runs the sweep and wraps it for serialization.
 func NewSweepReport(c SweepConfig) SweepReport {
+	r, _ := NewSweepReportContext(context.Background(), c)
+	return r
+}
+
+// NewSweepReportContext runs the sweep under ctx and wraps whatever
+// completed for serialization. When ctx ends before the grid does, the
+// report is still well-formed — measured cells keep their numbers, unrun
+// cells carry the cancellation error — and is marked Partial; the ctx
+// error is returned alongside so callers can flush the partial report and
+// still exit non-zero.
+func NewSweepReportContext(ctx context.Context, c SweepConfig) (SweepReport, error) {
 	c = c.withDefaults()
+	cells, err := RunSweepContext(ctx, c)
 	return SweepReport{
 		Engine:     "multicast-wheel-grouped",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Adversary:  strings.Join(c.Adversaries, ";"),
 		BaseSeed:   c.BaseSeed,
 		Theory:     c.Theory,
-		Cells:      RunSweep(c),
-	}
+		Partial:    err != nil,
+		Cells:      cells,
+	}, err
 }
 
 // WriteJSON serializes the report with stable formatting.

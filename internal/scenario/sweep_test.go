@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"reflect"
@@ -215,7 +216,7 @@ func assertBenchCellsReproduce(t *testing.T, file string, p, tasks, wantChecked 
 			adv = rep.Adversary // pre-adversary-axis baselines (BENCH_0)
 		}
 		sc := Scenario{Algorithm: c.Algo, Adversary: adv, P: c.P, T: c.T, D: c.D, Seed: c.Seed}
-		got := runCell(sc, c.Trials, eng)
+		got := RunCellOn(context.Background(), eng, sc, c.Trials, false)
 		if got.Err != "" {
 			t.Fatalf("cell %s/d=%d failed: %s", c.Algo, c.D, got.Err)
 		}

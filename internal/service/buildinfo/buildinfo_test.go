@@ -1,0 +1,20 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestVersionIsNonEmptyAndCarriesToolchain(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("empty version")
+	}
+	if !strings.Contains(v, runtime.Version()) {
+		t.Fatalf("version %q does not name the toolchain %q", v, runtime.Version())
+	}
+	if v2 := Version(); v2 != v {
+		t.Fatalf("version not stable: %q vs %q", v, v2)
+	}
+}

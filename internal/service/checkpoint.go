@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"doall/internal/scenario"
+)
+
+// The checkpoint log is the daemon's write-ahead record of everything
+// that must survive a restart: one NDJSON line per event, appended in
+// order and never rewritten. Three record kinds exist —
+//
+//	{"op":"job","seq":7,"job":{...}}          a job was admitted
+//	{"op":"cell","id":"j000007","i":3,"cell":{...}}  cell 3 completed
+//	{"op":"state","id":"j000007","state":"done"}     terminal transition
+//
+// Replay folds the lines back into the job store. A job with no terminal
+// state record resumes exactly where it stopped: its completed cells are
+// restored from their records and only the remaining cell indices run —
+// which reproduces an uninterrupted run byte for byte, because every
+// cell's seed is derived from its grid coordinates alone (wall-clock
+// NsPerRun excepted). A torn final line (the process died mid-append) is
+// tolerated: replay stops at the first undecodable line and the next
+// append starts a fresh line.
+type walRecord struct {
+	Op    string         `json:"op"`
+	Seq   int64          `json:"seq,omitempty"`
+	Job   *Job           `json:"job,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	Index int            `json:"i,omitempty"`
+	Cell  *scenario.Cell `json:"cell,omitempty"`
+	State JobState       `json:"state,omitempty"`
+	Err   string         `json:"err,omitempty"`
+}
+
+// wal is the append side of the checkpoint log. Appends are serialized
+// and flushed to the OS per record; Fsync additionally forces them to
+// stable storage (durable against machine crashes, not just process
+// deaths, at a per-cell fsync cost).
+type wal struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	fsync bool
+}
+
+func openWAL(path string, fsync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: checkpoint: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), fsync: fsync}, nil
+}
+
+func (w *wal) append(rec walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("service: checkpoint closed")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("service: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.w.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWAL reads a checkpoint log back as records. A missing file is an
+// empty history; a torn final line ends the replay silently (the crash
+// it evidences is exactly what the log exists to survive). A torn line
+// in the middle — followed by further decodable lines — is corruption
+// and fails loudly instead of silently dropping completed work.
+func replayWAL(path string) ([]walRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: checkpoint replay: %w", err)
+	}
+	defer f.Close()
+	var recs []walRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	torn := -1 // line number of the first undecodable line
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			if torn < 0 {
+				torn = line
+				continue
+			}
+			return nil, fmt.Errorf("service: checkpoint replay: line %d undecodable after torn line %d: %w", line, torn, err)
+		}
+		if torn >= 0 {
+			return nil, fmt.Errorf("service: checkpoint replay: torn line %d followed by valid records", torn)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: checkpoint replay: %w", err)
+	}
+	return recs, nil
+}

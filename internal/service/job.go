@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"doall/internal/scenario"
+)
+
+// JobState is the lifecycle of a service job. Submitted jobs queue, run
+// cell by cell on the engine fleet, and end in exactly one terminal
+// state; non-terminal jobs survive daemon restarts via the checkpoint
+// log and resume from their last completed cell.
+type JobState string
+
+const (
+	// JobQueued: admitted, waiting for the engine fleet.
+	JobQueued JobState = "queued"
+	// JobRunning: at least one of its cells has been claimed by a worker.
+	JobRunning JobState = "running"
+	// JobDone: every cell completed (individual cells may still carry
+	// per-cell errors, e.g. a step-cap overflow — those are data).
+	JobDone JobState = "done"
+	// JobFailed: the job was aborted by the service (wall-clock timeout,
+	// or a spec that stopped resolving on resume).
+	JobFailed JobState = "failed"
+	// JobCanceled: the submitter canceled it.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("30s", "5m") and unmarshals from either that form or integer
+// nanoseconds, so job documents stay hand-writable.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch v := v.(type) {
+	case string:
+		dur, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("bad duration %q: %w", v, err)
+		}
+		*d = Duration(dur)
+		return nil
+	case float64:
+		*d = Duration(time.Duration(v))
+		return nil
+	}
+	return fmt.Errorf("bad duration %v (want a string like \"30s\" or integer nanoseconds)", v)
+}
+
+// Job is the serializable unit of submission: exactly one of Scenario
+// (one algorithm × adversary × shape experiment) or Sweep (a whole grid)
+// plus scheduling knobs. The daemon assigns ID; submitters leave it
+// empty. This is the document POST /v1/jobs accepts and the checkpoint
+// log records.
+type Job struct {
+	// ID is assigned by the daemon at admission.
+	ID string `json:"id,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a
+	// priority level. Default 0.
+	Priority int `json:"priority,omitempty"`
+	// Timeout is the job's wall-clock budget once it starts running; on
+	// expiry the job fails and in-flight cells abort at their next trial
+	// boundary. Zero applies the daemon's default (which may be none).
+	Timeout Duration `json:"timeout,omitempty"`
+	// Scenario is a single-experiment job (runs Trials times, averaged,
+	// exactly like doall.RunScenarioAvg).
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
+	// Sweep is a grid job; each cell is one checkpointable unit of work.
+	Sweep *scenario.SweepSpec `json:"sweep,omitempty"`
+}
+
+// Kind names the job's shape: "scenario" or "sweep".
+func (j Job) Kind() string {
+	if j.Scenario != nil {
+		return "scenario"
+	}
+	return "sweep"
+}
+
+// ParseJob decodes a job document. Three forms are accepted: the full
+// envelope ({"scenario": {...}} or {"sweep": {...}}, with optional
+// priority/timeout), a bare Scenario document (recognized by its
+// "algorithm" key), or a bare sweep spec (recognized by "algos") — so
+// the same JSON that drives doall -spec or the sweep flags submits
+// directly. Unknown fields are rejected.
+func ParseJob(data []byte) (Job, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return Job{}, fmt.Errorf("service: parse job: %w", err)
+	}
+	_, hasScenario := probe["scenario"]
+	_, hasSweep := probe["sweep"]
+	switch {
+	case hasScenario || hasSweep:
+		var j Job
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&j); err != nil {
+			return Job{}, fmt.Errorf("service: parse job: %w", err)
+		}
+		return j, nil
+	default:
+		if _, ok := probe["algorithm"]; ok {
+			sc, err := scenario.Parse(data)
+			if err != nil {
+				return Job{}, fmt.Errorf("service: %w", err)
+			}
+			return Job{Scenario: &sc}, nil
+		}
+		if _, ok := probe["algos"]; ok {
+			sw, err := scenario.ParseSweepSpec(data)
+			if err != nil {
+				return Job{}, fmt.Errorf("service: %w", err)
+			}
+			return Job{Sweep: &sw}, nil
+		}
+	}
+	return Job{}, errors.New(`service: job document must contain "scenario" or "sweep" (or be a bare scenario with "algorithm" / bare sweep with "algos")`)
+}
+
+// validate checks the job is well-formed and its spec resolves through
+// the registries, without building machines.
+func (j Job) validate() error {
+	if (j.Scenario == nil) == (j.Sweep == nil) {
+		return errors.New("service: job must carry exactly one of scenario or sweep")
+	}
+	if j.Timeout < 0 {
+		return errors.New("service: negative job timeout")
+	}
+	if j.Scenario != nil {
+		sc := j.Scenario.WithDefaults()
+		if sc.Backend == scenario.BackendRuntime {
+			return errors.New("service: runtime-backend scenarios are not servable (no checkpointable cells); use backend \"sim\"")
+		}
+		return sc.Validate()
+	}
+	return j.Sweep.Validate()
+}
+
+// plan enumerates the job's cells as Scenarios in deterministic order,
+// with the per-cell trial count and whether theory columns apply. A
+// scenario job is one cell; a sweep job is its grid. Replaying the same
+// Job always yields the same plan — the checkpoint log's resume
+// guarantee rides on this.
+func (j Job) plan() (specs []scenario.Scenario, trials int, theory bool) {
+	if j.Scenario != nil {
+		sc := j.Scenario.WithDefaults()
+		return []scenario.Scenario{sc}, sc.Trials, false
+	}
+	cfg := j.Sweep.Config()
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	return cfg.Specs(), cfg.Trials, j.Sweep.Theory
+}
+
+// JobStatus is the wire form of a job's progress, served by
+// GET /v1/jobs/{id} and listed by GET /v1/jobs.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	State    JobState `json:"state"`
+	Priority int      `json:"priority,omitempty"`
+	// CellsTotal and CellsDone measure progress in checkpoint units.
+	CellsTotal int `json:"cells_total"`
+	CellsDone  int `json:"cells_done"`
+	// Err is the service-level failure reason (timeouts, cancellation);
+	// per-cell errors live in the cells themselves.
+	Err string `json:"err,omitempty"`
+	// SubmittedMS/StartedMS/FinishedMS are Unix milliseconds (0 = not yet).
+	SubmittedMS int64 `json:"submitted_ms,omitempty"`
+	StartedMS   int64 `json:"started_ms,omitempty"`
+	FinishedMS  int64 `json:"finished_ms,omitempty"`
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"doall/internal/sim"
+)
+
+// Service metrics, exposed at GET /metrics in the Prometheus text
+// exposition format. Two layers feed it:
+//
+//   - Service-level counters and gauges (jobs, cells, queue depth, engine
+//     fleet occupancy) maintained by the scheduler itself.
+//   - Simulation-level counters (steps, multicasts, deliveries, faults)
+//     wired through the engine's zero-cost-when-nil sim.Observer hooks:
+//     each worker owns a private, cache-line-padded counter block that its
+//     observer increments, and the scrape path sums the blocks — the hot
+//     loop never shares a written cache line between workers.
+type metrics struct {
+	start time.Time
+
+	jobsSubmitted  atomic.Int64
+	cellsCompleted atomic.Int64
+	cellsFailed    atomic.Int64
+	// enginesInflight counts workers currently inside a cell simulation
+	// (= busy engines; the fleet size is the pool bound).
+	enginesInflight atomic.Int64
+
+	// buckets is a ring of per-second cell-completion counts behind the
+	// doalld_cells_per_second gauge (rate over the trailing window).
+	buckets [rateRing]rateBucket
+
+	sim []simCounters
+}
+
+const (
+	rateRing   = 16 // ring slots; must exceed rateWindow+1
+	rateWindow = 10 // seconds the cells/sec gauge averages over
+)
+
+type rateBucket struct {
+	sec atomic.Int64 // unix second this slot currently counts
+	n   atomic.Int64
+}
+
+// simCounters is one worker's observer-fed counter block, padded so two
+// workers never write the same cache line.
+type simCounters struct {
+	steps      atomic.Int64
+	multicasts atomic.Int64
+	deliveries atomic.Int64
+	crashes    atomic.Int64
+	revivals   atomic.Int64
+	omissions  atomic.Int64
+	solved     atomic.Int64
+	_          [9]int64 // pad to 128 bytes
+}
+
+func newMetrics(workers int) *metrics {
+	if workers < 1 {
+		workers = 1
+	}
+	return &metrics{start: time.Now(), sim: make([]simCounters, workers)}
+}
+
+// cellDone records one completed cell into the totals and the rate ring.
+func (m *metrics) cellDone(failed bool) {
+	m.cellsCompleted.Add(1)
+	if failed {
+		m.cellsFailed.Add(1)
+	}
+	sec := time.Now().Unix()
+	b := &m.buckets[sec%rateRing]
+	if b.sec.Load() != sec {
+		// A stale slot is recycled for the current second. The store pair
+		// races benignly with concurrent completions in the same second —
+		// at worst a handful of counts land in a slot about to be reset,
+		// biasing a 10s average by a fraction of a second.
+		b.sec.Store(sec)
+		b.n.Store(0)
+	}
+	b.n.Add(1)
+}
+
+// rate returns cells/sec averaged over the trailing window.
+func (m *metrics) rate() float64 {
+	now := time.Now().Unix()
+	var sum int64
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		if s := b.sec.Load(); s > now-rateWindow && s <= now {
+			sum += b.n.Load()
+		}
+	}
+	return float64(sum) / rateWindow
+}
+
+// observer returns worker w's engine observer, feeding its private
+// counter block.
+func (m *metrics) observer(w int) sim.Observer {
+	return &workerObserver{c: &m.sim[w%len(m.sim)]}
+}
+
+type workerObserver struct {
+	sim.NopObserver
+	c *simCounters
+}
+
+func (o *workerObserver) OnStep(int, int64, *sim.StepResult) { o.c.steps.Add(1) }
+func (o *workerObserver) OnMulticast(_ int, _ int64, _ any, recipients int) {
+	o.c.multicasts.Add(1)
+	o.c.deliveries.Add(int64(recipients))
+}
+func (o *workerObserver) OnCrash(int, int64)       { o.c.crashes.Add(1) }
+func (o *workerObserver) OnRevive(int, int64)      { o.c.revivals.Add(1) }
+func (o *workerObserver) OnOmit(int, int, int64)   { o.c.omissions.Add(1) }
+func (o *workerObserver) OnSolved(int64, *sim.Result) { o.c.solved.Add(1) }
+
+// gauges is the scheduler-state snapshot the scrape takes under the
+// service lock.
+type gauges struct {
+	queueDepth int
+	jobsByState map[JobState]int
+	workers    int
+	draining   bool
+}
+
+// write renders the exposition text. Counter names follow the
+// <namespace>_<unit>_total convention; gauges are instantaneous.
+func (m *metrics) write(w io.Writer, g gauges) {
+	var steps, multicasts, deliveries, crashes, revivals, omissions, solved int64
+	for i := range m.sim {
+		c := &m.sim[i]
+		steps += c.steps.Load()
+		multicasts += c.multicasts.Load()
+		deliveries += c.deliveries.Load()
+		crashes += c.crashes.Load()
+		revivals += c.revivals.Load()
+		omissions += c.omissions.Load()
+		solved += c.solved.Load()
+	}
+	busy := m.enginesInflight.Load()
+
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP doalld_up Whether the daemon is serving (1) or draining (0).\n# TYPE doalld_up gauge\n")
+	up := 1
+	if g.draining {
+		up = 0
+	}
+	p("doalld_up %d\n", up)
+	p("# HELP doalld_uptime_seconds Seconds since the daemon started.\n# TYPE doalld_uptime_seconds gauge\n")
+	p("doalld_uptime_seconds %.0f\n", time.Since(m.start).Seconds())
+
+	p("# HELP doalld_jobs_submitted_total Jobs admitted since start (excludes checkpoint-replayed jobs).\n# TYPE doalld_jobs_submitted_total counter\n")
+	p("doalld_jobs_submitted_total %d\n", m.jobsSubmitted.Load())
+	p("# HELP doalld_jobs Jobs currently known, by state.\n# TYPE doalld_jobs gauge\n")
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
+		p("doalld_jobs{state=%q} %d\n", st, g.jobsByState[st])
+	}
+	p("# HELP doalld_queue_depth Jobs waiting for the engine fleet.\n# TYPE doalld_queue_depth gauge\n")
+	p("doalld_queue_depth %d\n", g.queueDepth)
+
+	p("# HELP doalld_cells_completed_total Sweep/scenario cells completed.\n# TYPE doalld_cells_completed_total counter\n")
+	p("doalld_cells_completed_total %d\n", m.cellsCompleted.Load())
+	p("# HELP doalld_cells_failed_total Completed cells that carry a per-cell error.\n# TYPE doalld_cells_failed_total counter\n")
+	p("doalld_cells_failed_total %d\n", m.cellsFailed.Load())
+	p("# HELP doalld_cells_per_second Cell completion rate over the trailing %ds.\n# TYPE doalld_cells_per_second gauge\n", rateWindow)
+	p("doalld_cells_per_second %.2f\n", m.rate())
+
+	p("# HELP doalld_engine_pool_size Reusable simulation engines in the worker fleet.\n# TYPE doalld_engine_pool_size gauge\n")
+	p("doalld_engine_pool_size %d\n", g.workers)
+	p("# HELP doalld_engines_inflight Engines currently executing a cell (pool occupancy).\n# TYPE doalld_engines_inflight gauge\n")
+	p("doalld_engines_inflight %d\n", busy)
+
+	p("# HELP doalld_sim_steps_total Machine steps executed across all cells (Observer.OnStep).\n# TYPE doalld_sim_steps_total counter\n")
+	p("doalld_sim_steps_total %d\n", steps)
+	p("# HELP doalld_sim_multicasts_total Broadcasts scheduled (Observer.OnMulticast).\n# TYPE doalld_sim_multicasts_total counter\n")
+	p("doalld_sim_multicasts_total %d\n", multicasts)
+	p("# HELP doalld_sim_messages_total Point-to-point message copies scheduled.\n# TYPE doalld_sim_messages_total counter\n")
+	p("doalld_sim_messages_total %d\n", deliveries)
+	p("# HELP doalld_sim_crashes_total Adversary crash events observed.\n# TYPE doalld_sim_crashes_total counter\n")
+	p("doalld_sim_crashes_total %d\n", crashes)
+	p("# HELP doalld_sim_revivals_total Crash-restart revivals observed.\n# TYPE doalld_sim_revivals_total counter\n")
+	p("doalld_sim_revivals_total %d\n", revivals)
+	p("# HELP doalld_sim_omissions_total Message copies omitted by the adversary.\n# TYPE doalld_sim_omissions_total counter\n")
+	p("doalld_sim_omissions_total %d\n", omissions)
+	p("# HELP doalld_sim_solved_total Runs that reached the solved instant.\n# TYPE doalld_sim_solved_total counter\n")
+	p("doalld_sim_solved_total %d\n", solved)
+}

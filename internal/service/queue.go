@@ -1,0 +1,33 @@
+package service
+
+// jobQueue is the daemon's bounded priority queue of admitted jobs: a
+// heap ordered by (Priority descending, submission sequence ascending),
+// so equal-priority jobs run FIFO. Cancellation is lazy — a canceled
+// queued job stays in the heap and is discarded when popped — which
+// keeps every queue operation O(log n) without index bookkeeping.
+// Boundedness is enforced at admission (Config.QueueLimit), not here.
+type jobQueue []*task
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].job.Priority != q[j].job.Priority {
+		return q[i].job.Priority > q[j].job.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*task)) }
+
+// Pop implements heap.Interface.
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

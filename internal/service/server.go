@@ -1,0 +1,281 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"doall/internal/scenario"
+	"doall/internal/service/buildinfo"
+)
+
+// The daemon's HTTP JSON API. Routing is manual prefix matching (the
+// module targets Go 1.21 ServeMux semantics, so no method/wildcard
+// patterns):
+//
+//	GET  /healthz              liveness + drain state
+//	GET  /metrics              Prometheus text exposition
+//	GET  /v1/version           daemon build info
+//	POST /v1/drain             stop admission, keep executing
+//	POST /v1/jobs              submit a job document (see ParseJob)
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         one job's status
+//	DELETE /v1/jobs/{id}       cancel
+//	GET  /v1/jobs/{id}/results NDJSON cell stream, live until terminal
+
+// maxJobBytes bounds a submitted job document.
+const maxJobBytes = 8 << 20
+
+// ResultCell is one line of the GET /v1/jobs/{id}/results stream: cell I
+// of the job's grid completed. Lines arrive in completion order, which
+// under a concurrent fleet is not grid order — consumers reassemble by I.
+type ResultCell struct {
+	I    int           `json:"i"`
+	Cell scenario.Cell `json:"cell"`
+}
+
+// ResultTrailer is the final line of a results stream. Done is true when
+// the job reached a terminal state; false means the stream was cut short
+// (daemon shutdown) and the client should reconnect after restart.
+type ResultTrailer struct {
+	Done        bool     `json:"done"`
+	State       JobState `json:"state"`
+	CellsDone   int      `json:"cells_done"`
+	CellsTotal  int      `json:"cells_total"`
+	Err         string   `json:"err,omitempty"`
+	Interrupted bool     `json:"interrupted,omitempty"`
+}
+
+// Handler returns the daemon's HTTP handler over this Service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/version", s.handleVersion)
+	mux.HandleFunc("/v1/drain", s.handleDrain)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	return mux
+}
+
+// httpError maps service errors onto statuses: not-found 404, draining
+// 503, queue-full 429, over-budget 413, anything else (validation) 400.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrOverBudget):
+		code = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, "GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"draining":    s.Draining(),
+		"active_jobs": s.ActiveJobs(),
+	})
+}
+
+func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, "GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"version": buildinfo.Version()})
+}
+
+func (s *Service) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, "POST")
+		return
+	}
+	open := s.Drain()
+	writeJSON(w, http.StatusOK, map[string]any{"draining": true, "active_jobs": open})
+}
+
+// gaugesSnapshot collects the scheduler-state gauges for one scrape.
+func (s *Service) gaugesSnapshot() gauges {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := gauges{
+		jobsByState: make(map[JobState]int, 5),
+		workers:     s.cfg.Workers,
+		draining:    s.draining || s.closing,
+	}
+	for _, t := range s.order {
+		g.jobsByState[t.state]++
+		if t.state == JobQueued {
+			g.queueDepth++
+		}
+	}
+	return g
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, "GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s.gaugesSnapshot())
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxJobBytes+1))
+		if err != nil {
+			httpError(w, fmt.Errorf("service: read body: %w", err))
+			return
+		}
+		if len(data) > maxJobBytes {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "job document too large"})
+			return
+		}
+		job, err := ParseJob(data)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		st, err := s.Submit(job)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+	default:
+		methodNotAllowed(w, "GET, POST")
+	}
+}
+
+// handleJob serves /v1/jobs/{id} and /v1/jobs/{id}/results.
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		httpError(w, ErrNotFound)
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			st, err := s.Status(id)
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+		case http.MethodDelete:
+			st, err := s.Cancel(id)
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+		default:
+			methodNotAllowed(w, "GET, DELETE")
+		}
+	case "results":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		s.streamResults(w, r, id)
+	default:
+		httpError(w, ErrNotFound)
+	}
+}
+
+// streamSnapshot returns the cells completed since offset `from` in
+// completion order, plus the job's current state.
+func (s *Service) streamSnapshot(t *task, from int) (batch []ResultCell, state JobState, errMsg string, ndone, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, i := range t.order[from:] {
+		batch = append(batch, ResultCell{I: i, Cell: t.cells[i]})
+	}
+	return batch, t.state, t.err, t.ndone, len(t.cells)
+}
+
+// streamResults serves a live NDJSON stream of a job's cells: every line
+// but the last is a ResultCell, the last is a ResultTrailer. The stream
+// follows the job until it goes terminal; on daemon shutdown it ends
+// early with an Interrupted trailer instead.
+func (s *Service) streamResults(w http.ResponseWriter, r *http.Request, id string) {
+	t, sub, ch, err := s.subscribe(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer s.unsubscribe(t, sub)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	sent := 0
+	for {
+		batch, state, errMsg, ndone, total := s.streamSnapshot(t, sent)
+		for _, rc := range batch {
+			if err := enc.Encode(rc); err != nil {
+				return // client went away
+			}
+		}
+		sent += len(batch)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if state.Terminal() {
+			enc.Encode(ResultTrailer{Done: true, State: state, CellsDone: ndone, CellsTotal: total, Err: errMsg})
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		case <-s.closedCh:
+			// Daemon shutting down: flush whatever completed after the
+			// last snapshot, then end with an interrupted trailer so the
+			// client knows to reconnect post-restart.
+			batch, state, errMsg, ndone, total = s.streamSnapshot(t, sent)
+			for _, rc := range batch {
+				if err := enc.Encode(rc); err != nil {
+					return
+				}
+			}
+			enc.Encode(ResultTrailer{Done: state.Terminal(), State: state, CellsDone: ndone, CellsTotal: total, Err: errMsg, Interrupted: !state.Terminal()})
+			return
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"doall/internal/scenario"
+	"doall/internal/service/buildinfo"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *Client) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		s.Close()
+		ts.Close()
+	})
+	return s, &Client{Base: ts.URL, HTTP: ts.Client()}
+}
+
+func TestHTTPSubmitStatusResults(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	// Submit a bare sweep document — the exact JSON the sweep flags mean.
+	st, err := c.SubmitDoc(ctx, []byte(`{"algos":["PaRan1"],"p":[4,8],"t":[16],"d":[1,2],"base_seed":3,"trials":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.CellsTotal != 4 {
+		t.Fatalf("submit: %+v", st)
+	}
+
+	// The results stream must deliver every cell exactly once, then a
+	// done trailer.
+	seen := map[int]bool{}
+	tr, err := c.Results(ctx, st.ID, func(rc ResultCell) error {
+		if seen[rc.I] {
+			t.Errorf("cell %d streamed twice", rc.I)
+		}
+		seen[rc.I] = true
+		if rc.Cell.P == 0 || rc.Cell.Algo == "" {
+			t.Errorf("cell %d missing identity: %+v", rc.I, rc.Cell)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.State != JobDone || tr.CellsDone != 4 || len(seen) != 4 {
+		t.Fatalf("trailer: %+v, %d cells seen", tr, len(seen))
+	}
+
+	// Status agrees, and the streamed cells match a direct sweep.
+	st, err = c.Status(ctx, st.ID)
+	if err != nil || st.State != JobDone {
+		t.Fatalf("status: %+v, %v", st, err)
+	}
+	jobs, err := c.List(ctx)
+	if err != nil || len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Fatalf("list: %+v, %v", jobs, err)
+	}
+}
+
+func TestHTTPStreamFollowsLiveJob(t *testing.T) {
+	// Open the results stream while the job is still queued; it must
+	// follow the job live to completion.
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := c.Submit(ctx, Job{Sweep: testSweep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tr, err := c.Results(ctx, st.ID, func(ResultCell) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || n != 4 {
+		t.Fatalf("live stream: trailer %+v after %d cells", tr, n)
+	}
+}
+
+func TestHTTPCancelAndErrors(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: -1, QueueLimit: 1})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, Job{Sweep: testSweep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, Job{Sweep: testSweep()}); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("queue overflow over HTTP: %v", err)
+	}
+	got, err := c.Cancel(ctx, st.ID)
+	if err != nil || got.State != JobCanceled {
+		t.Fatalf("cancel: %+v, %v", got, err)
+	}
+	if _, err := c.Status(ctx, "j424242"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("status of unknown job: %v", err)
+	}
+	if _, err := c.Cancel(ctx, "j424242"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel of unknown job: %v", err)
+	}
+}
+
+func TestHTTPMalformedSubmit(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: -1})
+	_ = s
+	ctx := context.Background()
+	for _, doc := range []string{
+		`{`,
+		`{"nonsense":true}`,
+		`{"algorithm":"NoSuchAlgo","p":4,"t":16}`,
+		`{"algos":["DA"],"p":[4],"t":[16],"d":[1],"typo":1}`,
+		`{"sweep":{"algos":["DA"],"p":[4],"t":[16],"d":[1]},"timeout":"-3s"}`,
+		`{"algorithm":"DA","p":4,"t":16,"backend":"runtime"}`,
+	} {
+		_, err := c.SubmitDoc(ctx, []byte(doc))
+		if err == nil {
+			t.Errorf("daemon accepted %q", doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), "400") {
+			t.Errorf("submit %q: error %v, want HTTP 400", doc, err)
+		}
+	}
+}
+
+func TestHTTPDrainHealthMetricsVersion(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: -1})
+	ctx := context.Background()
+
+	ok, draining, err := c.Health(ctx)
+	if err != nil || !ok || draining {
+		t.Fatalf("healthz: ok=%v draining=%v err=%v", ok, draining, err)
+	}
+	v, err := c.Version(ctx)
+	if err != nil || v != buildinfo.Version() {
+		t.Fatalf("version: %q, %v (want %q)", v, err, buildinfo.Version())
+	}
+
+	if _, err := c.Submit(ctx, Job{Sweep: testSweep()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape the exposition text directly.
+	resp, err := c.http().Get(c.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"doalld_up 1",
+		"doalld_jobs_submitted_total 1",
+		`doalld_jobs{state="queued"} 1`,
+		"doalld_queue_depth 1",
+		"doalld_engine_pool_size",
+		"doalld_sim_steps_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if _, err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, Job{Sweep: testSweep()}); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if !s.Draining() {
+		t.Fatal("service not draining after /v1/drain")
+	}
+}
+
+func TestHTTPMethodNotAllowed(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: -1})
+	for path, method := range map[string]string{
+		"/healthz":    http.MethodDelete,
+		"/metrics":    http.MethodPost,
+		"/v1/version": http.MethodPost,
+		"/v1/drain":   http.MethodGet,
+		"/v1/jobs":    http.MethodDelete,
+	} {
+		req, _ := http.NewRequest(method, c.url(path), nil)
+		resp, err := c.http().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: %d, want 405", method, path, resp.StatusCode)
+		}
+	}
+}
+
+// Restart the daemon under an open HTTP stream: the stream must end with
+// an interrupted trailer, and a fresh daemon + stream must finish the job
+// with results identical to an uninterrupted run.
+func TestHTTPResumeAcrossRestart(t *testing.T) {
+	wal := t.TempDir() + "/doalld.wal"
+
+	s1, err := New(Config{Workers: 1, Checkpoint: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	c1 := &Client{Base: ts1.URL, HTTP: ts1.Client()}
+	ctx := context.Background()
+
+	st, err := c1.Submit(ctx, Job{Sweep: testSweep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFirstCell(t, s1, st.ID)
+	done := make(chan ResultTrailer, 1)
+	go func() {
+		tr, _ := c1.Results(ctx, st.ID, nil)
+		done <- tr
+	}()
+	time.Sleep(10 * time.Millisecond) // let the stream attach
+	s1.Close()
+	select {
+	case tr := <-done:
+		if tr.Done && tr.State != JobDone {
+			t.Errorf("stream under shutdown: %+v", tr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not end on daemon shutdown")
+	}
+	ts1.Close()
+
+	s2, err := New(Config{Workers: 1, Checkpoint: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer s2.Close()
+	c2 := &Client{Base: ts2.URL, HTTP: ts2.Client()}
+
+	seen := map[int]scenario.Cell{}
+	tr, err := c2.Results(ctx, st.ID, func(rc ResultCell) error {
+		seen[rc.I] = rc.Cell
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.State != JobDone || len(seen) != 4 {
+		t.Fatalf("post-restart stream: %+v, %d cells", tr, len(seen))
+	}
+	want := stripCellNs(scenario.RunSweep(testSweep().Config()))
+	for i, w := range want {
+		got := seen[i]
+		got.NsPerRun = 0
+		if got != w {
+			t.Fatalf("cell %d differs after HTTP resume:\ngot:  %+v\nwant: %+v", i, got, w)
+		}
+	}
+}

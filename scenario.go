@@ -1,6 +1,8 @@
 package doall
 
 import (
+	"context"
+
 	"doall/internal/bounds"
 	"doall/internal/harness"
 	"doall/internal/scenario"
@@ -118,6 +120,27 @@ func RunSweep(c SweepConfig) []SweepCell { return harness.RunSweep(c) }
 
 // NewSweepReport runs the sweep and wraps it for serialization.
 func NewSweepReport(c SweepConfig) SweepReport { return harness.NewSweepReport(c) }
+
+// RunSweepContext is RunSweep with cancellation: when ctx is canceled
+// (deadline, SIGINT), in-flight cells stop at their next trial boundary,
+// unrun cells are stamped with the context error, and the context's
+// error is returned alongside the partial grid.
+func RunSweepContext(ctx context.Context, c SweepConfig) ([]SweepCell, error) {
+	return scenario.RunSweepContext(ctx, c)
+}
+
+// NewSweepReportContext is NewSweepReport with cancellation; a canceled
+// sweep yields a report with Partial set and the context error returned.
+func NewSweepReportContext(ctx context.Context, c SweepConfig) (SweepReport, error) {
+	return scenario.NewSweepReportContext(ctx, c)
+}
+
+// SweepSpec is the JSON-serializable mirror of SweepConfig — what sweep
+// config files and doalld sweep jobs are written in.
+type SweepSpec = scenario.SweepSpec
+
+// ParseSweepSpec decodes a JSON sweep spec, rejecting unknown fields.
+func ParseSweepSpec(data []byte) (SweepSpec, error) { return scenario.ParseSweepSpec(data) }
 
 // EstimateSweepMemory returns a rough upper estimate, in bytes, of the
 // steady-state heap the sweep needs: the per-worker estimate of the
