@@ -12,6 +12,7 @@
 package doall_test
 
 import (
+	"fmt"
 	"testing"
 
 	"doall"
@@ -25,8 +26,15 @@ import (
 // engine) and requires them to be allocation-free.
 func assertZeroSteadyStateAllocs(t *testing.T, name string, machines []sim.Machine, adv sim.Adversary, p, tasks int) {
 	t.Helper()
+	assertZeroSteadyStateAllocsCfg(t, name, machines, adv, sim.Config{P: p, T: tasks})
+}
+
+// assertZeroSteadyStateAllocsCfg is the config-explicit form, used by the
+// sharded gate to pass Config.Shards through unchanged.
+func assertZeroSteadyStateAllocsCfg(t *testing.T, name string, machines []sim.Machine, adv sim.Adversary, cfg sim.Config) {
+	t.Helper()
+	p := cfg.P
 	eng := sim.NewEngine()
-	cfg := sim.Config{P: p, T: tasks}
 
 	run := func() *sim.Result {
 		if !sim.ResetMachines(machines) {
@@ -128,6 +136,22 @@ func TestZeroSteadyStateAllocsPA1024(t *testing.T) {
 	const p, tasks = 1024, 4096
 	ms := doall.NewPaRan1(p, tasks, 42)
 	assertZeroSteadyStateAllocs(t, "PaRan1-1024/fair", ms, adversary.NewFair(4), p, tasks)
+}
+
+// TestZeroSteadyStateAllocsSharded1024 gates the parallel tick engine: a
+// sharded run at p=1024 must hit the same zero-allocation steady state as
+// the sequential one. The shard machinery is pre-grown in reset (worker
+// goroutines are launched once and parked on their wake channels; scratch,
+// shadow-batch, and per-step result slices are reused), so once warmed,
+// a whole re-run — wake sends, WaitGroup handoffs, shadow seeding, and the
+// phase-B replay included — allocates exactly nothing per worker shard.
+func TestZeroSteadyStateAllocsSharded1024(t *testing.T) {
+	const p, tasks = 1024, 4096
+	for _, shards := range []int{2, 4} {
+		ms := doall.NewPaRan1(p, tasks, 42)
+		assertZeroSteadyStateAllocsCfg(t, fmt.Sprintf("PaRan1-1024/fair-shards%d", shards),
+			ms, adversary.NewFair(4), sim.Config{P: p, T: tasks, Shards: shards})
+	}
 }
 
 // TestZeroSteadyStateAllocsDA1024 is the DA gate at p=1024: tree

@@ -15,11 +15,13 @@
 package doall_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"doall"
 	"doall/internal/adversary"
+	"doall/internal/bitset"
 	"doall/internal/bounds"
 	"doall/internal/harness"
 	"doall/internal/perm"
@@ -379,4 +381,155 @@ func BenchmarkEngineSteadyStatePA1024(b *testing.B) {
 		work = res.Work
 	}
 	b.ReportMetric(float64(work), "work")
+}
+
+// BenchmarkVersionedMergeKernels pins the word-level union kernels under
+// the versioned knowledge plane's three merge regimes. The shapes mirror
+// what a p=65536 run does per delivery: full-width base unions (first
+// contact / post-rebase gap), short delta-chain suffixes (the steady
+// in-sequence path), and the base-plus-chain fallback a cursor gap forces.
+func BenchmarkVersionedMergeKernels(b *testing.B) {
+	const n = 1 << 20 // one knowledge set: 16 Ki words
+
+	// base-union: the raw Set kernel. dst restarts from a ~third-dense
+	// pristine every iteration (a memcopy; the counting union dominates)
+	// so each union does full-width real work rather than measuring the
+	// saturated skip path.
+	b.Run("base-union", func(b *testing.B) {
+		r := rand.New(rand.NewSource(1))
+		pristine, src := bitset.New(n), bitset.New(n)
+		for i := 0; i < n; i++ {
+			switch r.Intn(3) {
+			case 0:
+				pristine.Set(i)
+			case 1:
+				src.Set(i)
+			}
+		}
+		dst := bitset.New(n)
+		var added int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst.CopyFrom(pristine)
+			added = dst.UnionWith(src)
+		}
+		b.ReportMetric(float64(added), "bits-added")
+	})
+
+	// chain-suffix: the in-sequence Merger path — cursor at version 1,
+	// snapshot four delta segments ahead, so each Merge walks only the
+	// chain suffix. Strides are sized to stay under the rebase threshold
+	// (the suffix path must not silently become a base merge).
+	b.Run("chain-suffix", func(b *testing.B) {
+		src := bitset.NewVersioned(n)
+		for i := 0; i < n; i += 64 {
+			src.Set(i)
+		}
+		s1 := src.Snapshot()
+		v1 := s1.Ver()
+		var snaps []*bitset.Snapshot
+		for round := 1; round <= 4; round++ {
+			for i := round; i < n; i += 1024 {
+				src.Set(i)
+			}
+			snaps = append(snaps, src.Snapshot())
+		}
+		tip := snaps[len(snaps)-1]
+		if tip.BaseVer() > v1 {
+			b.Fatalf("setup rebased (baseVer=%d > cursor=%d); shrink the rounds", tip.BaseVer(), v1)
+		}
+		dst := bitset.NewVersioned(n)
+		m := bitset.NewMerger(1)
+		m.Note(0, v1)
+		m.Merge(dst, 0, tip) // pre-merge: the timed loop measures the pure segment scans
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			m.Note(0, v1)
+			m.Merge(dst, 0, tip)
+		}
+		b.ReportMetric(float64(tip.ChainLen()), "chain-len")
+	})
+
+	// cursor-gap: the fallback — a cursor behind the snapshot's base
+	// version forces the full base union plus the whole chain. The source
+	// is grown through enough dirty words that Snapshot rebases, so the
+	// epoch genuinely has a base.
+	b.Run("cursor-gap", func(b *testing.B) {
+		src := bitset.NewVersioned(n)
+		r := rand.New(rand.NewSource(2))
+		var snap *bitset.Snapshot
+		for round := 0; round < 12; round++ {
+			for i := 0; i < n/8; i++ {
+				src.Set(r.Intn(n))
+			}
+			if snap != nil {
+				src.Recycle(snap)
+			}
+			snap = src.Snapshot()
+		}
+		if snap.Base() == nil || snap.BaseVer() == 0 {
+			b.Fatal("setup did not produce a rebased epoch; grow the rounds")
+		}
+		// One sparse round on top of the base, so the gap path walks a
+		// non-empty chain as well as the full base.
+		for i := 0; i < n; i += 4096 {
+			src.Set(i)
+		}
+		src.Recycle(snap)
+		snap = src.Snapshot()
+		dst := bitset.NewVersioned(n)
+		m := bitset.NewMerger(1)
+		m.Merge(dst, 0, snap) // pre-merge; timed loop is the gap-path scan
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			m.Merge(dst, 0, snap)
+		}
+		b.ReportMetric(float64(snap.ChainLen()), "chain-len")
+	})
+}
+
+// BenchmarkParallelTickPA65536 is the intra-run sharding reproduction
+// vehicle: PaRan1 under the fair adversary at p=65536, t=2^20, d=8 on one
+// reusable engine, sequential versus sharded. On a multi-core runner the
+// sharded line is where the ≥2× ns/op improvement shows up; on a
+// single-core machine it instead bounds the sharding overhead (the two
+// lines must stay close). Full shape allocates ~32 GiB of shared
+// permutation backing — -short drops to p=4096, t=2^16 (~128 MiB), which
+// is also what CI's bench smoke runs.
+func BenchmarkParallelTickPA65536(b *testing.B) {
+	p, t := 65536, 1<<20
+	const d = 8
+	if testing.Short() {
+		p, t = 4096, 1<<16
+	}
+	ms := doall.NewPaRan1(p, t, 42)
+	adv := adversary.NewFair(d)
+	shardCounts := []int{1, 2}
+	if auto := doall.ResolveShards(doall.ShardsAuto, p); auto > 2 {
+		shardCounts = append(shardCounts, auto)
+	}
+	for _, s := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			eng := sim.NewEngine()
+			cfg := sim.Config{P: p, T: t, Shards: s}
+			var work int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !sim.ResetMachines(ms) {
+					b.Fatal("PaRan1 machines must be resettable")
+				}
+				res, err := eng.Run(cfg, ms, adv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				work = res.Work
+			}
+			b.ReportMetric(float64(work), "work")
+		})
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"doall"
@@ -42,6 +43,7 @@ type cliFlags struct {
 	seed     int64
 	trials   int
 	restarts int
+	shards   string
 	spec     string
 	version  bool
 }
@@ -60,6 +62,7 @@ func parseFlags(args []string) (cliFlags, error) {
 	fs.Int64Var(&c.seed, "seed", 1, "random seed")
 	fs.IntVar(&c.trials, "trials", 1, "trials to average over (varies the seed)")
 	fs.IntVar(&c.restarts, "restarts", 32, "permutation-search restarts")
+	fs.StringVar(&c.shards, "shards", "1", "intra-run parallel shards: a count, or 'auto' (results are identical at any value)")
 	fs.StringVar(&c.spec, "spec", "", "JSON Scenario document (overrides the individual flags)")
 	fs.BoolVar(&c.version, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +77,10 @@ func (c cliFlags) scenario() (doall.Scenario, error) {
 	if c.spec != "" {
 		return doall.ParseScenario([]byte(c.spec))
 	}
+	shards, err := parseShards(c.shards)
+	if err != nil {
+		return doall.Scenario{}, err
+	}
 	return doall.Scenario{
 		Algorithm:      c.algo,
 		Adversary:      c.adv,
@@ -84,7 +91,24 @@ func (c cliFlags) scenario() (doall.Scenario, error) {
 		Seed:           c.seed,
 		Trials:         c.trials,
 		SearchRestarts: c.restarts,
+		Shards:         shards,
 	}, nil
+}
+
+// parseShards turns a -shards value — a shard count or the word "auto" —
+// into the Scenario.Shards encoding (auto = doall.ShardsAuto).
+func parseShards(s string) (int, error) {
+	if s == "" || s == "auto" {
+		if s == "auto" {
+			return doall.ShardsAuto, nil
+		}
+		return 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("-shards wants a count ≥ 1 or 'auto', got %q", s)
+	}
+	return n, nil
 }
 
 func run(args []string, w io.Writer) error {

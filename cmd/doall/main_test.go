@@ -18,19 +18,31 @@ func TestScenarioFromFlags(t *testing.T) {
 			name: "defaults",
 			args: nil,
 			want: doall.Scenario{Algorithm: "DA", Adversary: "fair", P: 8, T: 64, Q: 2, D: 1,
-				Seed: 1, Trials: 1, SearchRestarts: 32},
+				Seed: 1, Trials: 1, SearchRestarts: 32, Shards: 1},
 		},
 		{
 			name: "explicit",
 			args: []string{"-algo", "PaRan1", "-p", "4", "-t", "32", "-d", "3", "-seed", "9", "-trials", "5"},
 			want: doall.Scenario{Algorithm: "PaRan1", Adversary: "fair", P: 4, T: 32, Q: 2, D: 3,
-				Seed: 9, Trials: 5, SearchRestarts: 32},
+				Seed: 9, Trials: 5, SearchRestarts: 32, Shards: 1},
 		},
 		{
 			name: "adversary expression",
 			args: []string{"-adversary", "crashing(slow-set(fair),crash=0@5)"},
 			want: doall.Scenario{Algorithm: "DA", Adversary: "crashing(slow-set(fair),crash=0@5)",
-				P: 8, T: 64, Q: 2, D: 1, Seed: 1, Trials: 1, SearchRestarts: 32},
+				P: 8, T: 64, Q: 2, D: 1, Seed: 1, Trials: 1, SearchRestarts: 32, Shards: 1},
+		},
+		{
+			name: "shards count",
+			args: []string{"-shards", "4"},
+			want: doall.Scenario{Algorithm: "DA", Adversary: "fair", P: 8, T: 64, Q: 2, D: 1,
+				Seed: 1, Trials: 1, SearchRestarts: 32, Shards: 4},
+		},
+		{
+			name: "shards auto",
+			args: []string{"-shards", "auto"},
+			want: doall.Scenario{Algorithm: "DA", Adversary: "fair", P: 8, T: 64, Q: 2, D: 1,
+				Seed: 1, Trials: 1, SearchRestarts: 32, Shards: doall.ShardsAuto},
 		},
 		{
 			name: "json spec",

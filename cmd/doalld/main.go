@@ -64,6 +64,7 @@ func run(ctx context.Context, secondSignal context.CancelFunc, args []string, w,
 		fsync      bool
 		maxmem     string
 		timeout    time.Duration
+		shards     string
 		version    bool
 	)
 	fs := flag.NewFlagSet("doalld", flag.ContinueOnError)
@@ -76,6 +77,7 @@ func run(ctx context.Context, secondSignal context.CancelFunc, args []string, w,
 	fs.BoolVar(&fsync, "fsync", false, "fsync the checkpoint log per record (survives machine crashes, not just process deaths)")
 	fs.StringVar(&maxmem, "maxmem", "", "reject sweep jobs whose estimated memory exceeds this budget (e.g. 4g, 512m)")
 	fs.DurationVar(&timeout, "timeout", 0, "default wall-clock budget per job (0 = unlimited; jobs may declare their own)")
+	fs.StringVar(&shards, "shards", "1", "default intra-run parallel shards per cell — a count, or 'auto'; jobs may declare their own (results are identical at any value)")
 	fs.BoolVar(&version, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +94,18 @@ func run(ctx context.Context, secondSignal context.CancelFunc, args []string, w,
 		Checkpoint:     checkpoint,
 		Fsync:          fsync,
 		DefaultTimeout: timeout,
+	}
+	switch shards {
+	case "", "1":
+		cfg.Shards = 1
+	case "auto":
+		cfg.Shards = doall.ShardsAuto
+	default:
+		n, err := strconv.Atoi(shards)
+		if err != nil || n < 1 {
+			return fmt.Errorf("-shards wants a count ≥ 1 or 'auto', got %q", shards)
+		}
+		cfg.Shards = n
 	}
 	if maxmem != "" {
 		budget, err := parseBytes(maxmem)

@@ -74,6 +74,7 @@ type sweepFlags struct {
 	seed    int64
 	theory  bool
 	maxmem  string
+	shards  string
 }
 
 // config assembles and validates the declarative sweep grid.
@@ -84,6 +85,18 @@ func (f sweepFlags) config() (doall.SweepConfig, error) {
 		Trials:    f.trials,
 		Workers:   f.workers,
 		Theory:    f.theory,
+	}
+	switch f.shards {
+	case "", "1":
+		cfg.Shards = 1
+	case "auto":
+		cfg.Shards = doall.ShardsAuto
+	default:
+		n, err := strconv.Atoi(f.shards)
+		if err != nil || n < 1 {
+			return cfg, fmt.Errorf("-shards wants a count ≥ 1 or 'auto', got %q", f.shards)
+		}
+		cfg.Shards = n
 	}
 	cfg.Algos = splitList(f.algos, ",")
 	if f.advs != "" {
@@ -254,6 +267,7 @@ func runContext(ctx context.Context, args []string, w, errw io.Writer) error {
 	fs.Int64Var(&f.seed, "seed", 0, "sweep: base seed for per-cell seed derivation")
 	fs.BoolVar(&f.theory, "theory", false, "sweep: add LowerBound/DAUpperBound/PAUpperBound theory columns per cell")
 	fs.StringVar(&f.maxmem, "maxmem", "", "sweep: fail fast if the estimated per-sweep memory exceeds this budget (e.g. 4g, 512m)")
+	fs.StringVar(&f.shards, "shards", "1", "sweep: intra-run parallel shards per cell — a count, or 'auto' (results are identical at any value; only ns_per_run moves)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -378,6 +392,23 @@ func writeSweep(ctx context.Context, cfg doall.SweepConfig, out string, w, errw 
 		defer f.Close()
 		w = f
 	}
+	// Announce the effective execution parallelism before burning grid
+	// time: sweep workers × intra-run shards must be read against
+	// GOMAXPROCS when interpreting ns_per_run columns.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxP := maxInt(cfg.Ps)
+	shardDesc := "1 (sequential)"
+	switch {
+	case cfg.Shards == doall.ShardsAuto:
+		shardDesc = fmt.Sprintf("auto (p=%d resolves to %d)", maxP, doall.ResolveShards(cfg.Shards, maxP))
+	case cfg.Shards > 1:
+		shardDesc = fmt.Sprintf("%d (p=%d resolves to %d)", cfg.Shards, maxP, doall.ResolveShards(cfg.Shards, maxP))
+	}
+	fmt.Fprintf(errw, "sweep: gomaxprocs=%d workers=%d shards=%s\n",
+		runtime.GOMAXPROCS(0), workers, shardDesc)
 	rep, err := doall.NewSweepReportContext(ctx, cfg)
 	if err != nil {
 		// Interrupted (-timeout, SIGINT): the completed cells are still

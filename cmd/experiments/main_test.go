@@ -24,7 +24,7 @@ func TestSweepFlagParsing(t *testing.T) {
 			f:    sweepFlags{algos: "DA,PaRan1", ps: "4,8", ts: "16", ds: "1,2", adv: "fair", trials: 2, seed: 5},
 			want: doall.SweepConfig{
 				Algos: []string{"DA", "PaRan1"}, Ps: []int{4, 8}, Ts: []int{16}, Ds: []int64{1, 2},
-				Adversary: "fair", BaseSeed: 5, Trials: 2,
+				Adversary: "fair", BaseSeed: 5, Trials: 2, Shards: 1,
 			},
 		},
 		{
@@ -32,7 +32,7 @@ func TestSweepFlagParsing(t *testing.T) {
 			f:    sweepFlags{algos: " DA , ,PaDet ", ps: "4", ts: "8", ds: "1", adv: "fair"},
 			want: doall.SweepConfig{
 				Algos: []string{"DA", "PaDet"}, Ps: []int{4}, Ts: []int{8}, Ds: []int64{1},
-				Adversary: "fair",
+				Adversary: "fair", Shards: 1,
 			},
 		},
 		{
@@ -40,7 +40,7 @@ func TestSweepFlagParsing(t *testing.T) {
 			f:    sweepFlags{algos: "PaRan1", ps: "4", ts: "8", ds: "2", adv: "crashing(crash=0@3,crash=1@5)"},
 			want: doall.SweepConfig{
 				Algos: []string{"PaRan1"}, Ps: []int{4}, Ts: []int{8}, Ds: []int64{2},
-				Adversary: "crashing(crash=0@3,crash=1@5)",
+				Adversary: "crashing(crash=0@3,crash=1@5)", Shards: 1,
 			},
 		},
 		{
@@ -49,6 +49,7 @@ func TestSweepFlagParsing(t *testing.T) {
 			want: doall.SweepConfig{
 				Algos: []string{"PaRan1"}, Ps: []int{4}, Ts: []int{8}, Ds: []int64{2},
 				Adversary: "fair", Adversaries: []string{"fair", "crashing", "slow-set(period=2)"},
+				Shards: 1,
 			},
 		},
 	}

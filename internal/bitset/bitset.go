@@ -90,15 +90,7 @@ func (s *Set) UnionWith(other *Set) int {
 	if other.n != s.n {
 		panic("bitset: UnionWith length mismatch")
 	}
-	added := 0
-	for i, w := range other.words {
-		neu := w &^ s.words[i]
-		if neu != 0 {
-			added += bits.OnesCount64(neu)
-			s.words[i] |= neu
-		}
-	}
-	return added
+	return unionWords(s.words, other.words)
 }
 
 // OrWith ORs other into s without counting the change — the count-free
@@ -108,9 +100,7 @@ func (s *Set) OrWith(other *Set) {
 	if other.n != s.n {
 		panic("bitset: OrWith length mismatch")
 	}
-	for i, w := range other.words {
-		s.words[i] |= w
-	}
+	orWords(s.words, other.words)
 }
 
 // onesCount is bits.OnesCount64, aliased so hot merge loops in this

@@ -149,16 +149,7 @@ func (v *Versioned) UnionWith(other *Set) int {
 	if other.n != v.set.n {
 		panic("bitset: UnionWith length mismatch")
 	}
-	added := 0
-	dst := v.set.words
-	for i, w := range other.words {
-		if neu := w &^ dst[i]; neu != 0 {
-			added += onesCount(neu)
-			dst[i] |= neu
-			v.touch(i)
-		}
-	}
-	return added
+	return v.unionDirty(other.words)
 }
 
 // UnionWithCollect is UnionWith, additionally appending every changed

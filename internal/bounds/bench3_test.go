@@ -1,0 +1,82 @@
+package bounds
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestTheoryColumnsPinnedToBench3 recomputes the theory columns of the
+// BENCH_3.json grid (the p=65536 intra-run-sharding baseline) and
+// requires exact agreement, extending the BENCH_2 pin to the largest
+// recorded shape.
+func TestTheoryColumnsPinnedToBench3(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_3.json")
+	if err != nil {
+		t.Skipf("BENCH_3.json not present: %v", err)
+	}
+	var report struct {
+		Theory bool         `json:"theory"`
+		Cells  []bench2Cell `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_3.json: %v", err)
+	}
+	if !report.Theory {
+		t.Fatal("BENCH_3.json was not recorded with -theory")
+	}
+	if len(report.Cells) == 0 {
+		t.Fatal("BENCH_3.json has no cells")
+	}
+	for _, c := range report.Cells {
+		if c.P < 65536 {
+			t.Errorf("%s p=%d t=%d d=%d: BENCH_3 is the p=65536 baseline, found a smaller cell", c.Algo, c.P, c.T, c.D)
+		}
+		if lb := LowerBound(c.P, c.T, c.D); !closeEnough(lb, c.LowerBound) {
+			t.Errorf("%s p=%d t=%d d=%d: LowerBound = %v, recorded %v", c.Algo, c.P, c.T, c.D, lb, c.LowerBound)
+		}
+		if da := DAUpperBound(c.P, c.T, c.D, bench2Eps); !closeEnough(da, c.DAUpperBound) {
+			t.Errorf("%s p=%d t=%d d=%d: DAUpperBound = %v, recorded %v", c.Algo, c.P, c.T, c.D, da, c.DAUpperBound)
+		}
+		if pa := PAUpperBound(c.P, c.T, c.D); !closeEnough(pa, c.PAUpperBound) {
+			t.Errorf("%s p=%d t=%d d=%d: PAUpperBound = %v, recorded %v", c.Algo, c.P, c.T, c.D, pa, c.PAUpperBound)
+		}
+		if ratio := Overhead(c.Work, c.LowerBound); !closeEnough(ratio, c.WorkOverLB) {
+			t.Errorf("%s p=%d t=%d d=%d: work/lb = %v, recorded %v", c.Algo, c.P, c.T, c.D, ratio, c.WorkOverLB)
+		}
+	}
+}
+
+// TestTheoryColumnsHardcodedPinsP65536 is the file-independent half of
+// the BENCH_3 pin: hand-copied evaluator outputs at the p=65536 shapes,
+// so regenerating the benchmark file cannot silently re-baseline the
+// bound evaluators at the corner the sharded engine is measured on.
+func TestTheoryColumnsHardcodedPinsP65536(t *testing.T) {
+	cases := []struct {
+		p, t, d           int
+		lower, daUp, paUp float64
+	}{
+		{65536, 1048576, 8, 4.356466806876231e+06, 4.582479872485031e+08, 1.7807036701008182e+07},
+		{65536, 4194304, 8, 7.832982340164375e+06, 1.4533668864970062e+09, 5.342108810320383e+07},
+	}
+	for _, c := range cases {
+		if lb := LowerBound(c.p, c.t, c.d); !closeEnough(lb, c.lower) {
+			t.Errorf("p=%d t=%d d=%d: LowerBound = %v, want %v", c.p, c.t, c.d, lb, c.lower)
+		}
+		if da := DAUpperBound(c.p, c.t, c.d, bench2Eps); !closeEnough(da, c.daUp) {
+			t.Errorf("p=%d t=%d d=%d: DAUpperBound = %v, want %v", c.p, c.t, c.d, da, c.daUp)
+		}
+		if pa := PAUpperBound(c.p, c.t, c.d); !closeEnough(pa, c.paUp) {
+			t.Errorf("p=%d t=%d d=%d: PAUpperBound = %v, want %v", c.p, c.t, c.d, pa, c.paUp)
+		}
+	}
+	// Shape sanity at the corner: at p=65536, t ≥ 2^20, d=8 the evaluators
+	// must order LowerBound < PAUpperBound < DAUpperBound (with ε = 0.5 the
+	// t·p^ε term dominates DA's bound at this width).
+	for _, c := range cases {
+		lb, pa, da := LowerBound(c.p, c.t, c.d), PAUpperBound(c.p, c.t, c.d), DAUpperBound(c.p, c.t, c.d, bench2Eps)
+		if !(lb < pa && pa < da) {
+			t.Errorf("p=%d t=%d d=%d: bound ordering broken: lb=%v pa=%v da=%v", c.p, c.t, c.d, lb, pa, da)
+		}
+	}
+}

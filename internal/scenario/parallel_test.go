@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"doall/internal/sim"
+)
+
+// TestParallelMatchesSequential is the parallel tick engine's acceptance
+// matrix: every algorithm × fault adversary × shard count must reproduce
+// the sequential engine's Result byte for byte. Shards only repartition
+// one tick's schedule across goroutines; the serial reduction replays
+// all shared-state mutations in schedule order, so nothing observable
+// may move.
+func TestParallelMatchesSequential(t *testing.T) {
+	algos := []string{AlgoAllToAll, AlgoObliDo, AlgoDA, AlgoPaRan1, AlgoPaRan2, AlgoPaDet}
+	advs := []string{
+		"fair",
+		"crashing(fair, crash=1@3, crash=5@9)",
+		"restarting(fair, crash=1@3, crash=5@9, down=8)",
+		"omitting(fair, drop=2@0:40, to=0, to=3)",
+	}
+	for _, algo := range algos {
+		for _, adv := range advs {
+			t.Run(algo+"/"+adv, func(t *testing.T) {
+				base := Scenario{Algorithm: algo, Adversary: adv, P: 44, T: 256, D: 3, Seed: 17}
+				seq, err := Run(base)
+				if err != nil {
+					t.Fatalf("sequential: %v", err)
+				}
+				if !seq.Solved() {
+					t.Fatalf("sequential run did not solve")
+				}
+				for _, shards := range []int{2, 4, 7} {
+					sc := base
+					sc.Shards = shards
+					par, err := Run(sc)
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					if !reflect.DeepEqual(seq.Sim, par.Sim) {
+						t.Fatalf("shards=%d diverged from sequential:\nseq: %+v\npar: %+v",
+							shards, seq.Sim, par.Sim)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelMatchesSequentialObserved repeats a slice of the matrix
+// with an observer attached: observers disable the grouped delivery
+// path, so this pins the parallel engine's ungrouped (per-delivery
+// materialization) route, and additionally checks the observers of both
+// engines saw identical event streams.
+func TestParallelMatchesSequentialObserved(t *testing.T) {
+	for _, algo := range []string{AlgoPaRan1, AlgoDA} {
+		t.Run(algo, func(t *testing.T) {
+			base := Scenario{
+				Algorithm: algo,
+				Adversary: "restarting(fair, crash=2@4, down=6)",
+				P:         33, T: 128, D: 2, Seed: 5,
+			}
+			run := func(shards int) (*Result, []string) {
+				sc := base
+				sc.Shards = shards
+				obs := &traceObserver{}
+				res, err := RunWith(sc, Options{Observer: obs})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return res, obs.events
+			}
+			seq, seqEv := run(1)
+			par, parEv := run(4)
+			if !reflect.DeepEqual(seq.Sim, par.Sim) {
+				t.Fatalf("observed results diverged:\nseq: %+v\npar: %+v", seq.Sim, par.Sim)
+			}
+			if !reflect.DeepEqual(seqEv, parEv) {
+				t.Fatalf("observer event streams diverged (%d vs %d events)", len(seqEv), len(parEv))
+			}
+		})
+	}
+}
+
+// traceObserver records every engine event as a formatted line so two
+// runs' streams can be compared wholesale.
+type traceObserver struct{ events []string }
+
+func (o *traceObserver) add(s string) { o.events = append(o.events, s) }
+
+func (o *traceObserver) OnStep(i int, now int64, r *sim.StepResult) {
+	o.add(fmt.Sprintf("step %d@%d task=%d halt=%v", i, now, r.PerformedTask(), r.Halt))
+}
+func (o *traceObserver) OnMulticast(from int, now int64, payload any, n int) {
+	o.add(fmt.Sprintf("mc %d@%d n=%d", from, now, n))
+}
+func (o *traceObserver) OnDeliver(m sim.Message) {
+	o.add(fmt.Sprintf("dl %d>%d@%d", m.From, m.To, m.DeliverAt))
+}
+func (o *traceObserver) OnCrash(i int, now int64)            { o.add(fmt.Sprintf("crash %d@%d", i, now)) }
+func (o *traceObserver) OnRevive(i int, now int64)           { o.add(fmt.Sprintf("revive %d@%d", i, now)) }
+func (o *traceObserver) OnOmit(from, to int, now int64)      { o.add(fmt.Sprintf("omit %d>%d@%d", from, to, now)) }
+func (o *traceObserver) OnSolved(now int64, res *sim.Result) { o.add(fmt.Sprintf("solved@%d", now)) }
+
+// TestParallelRaceShape drives the sharded engine at a p=4096 shape so
+// the CI -race job exercises real multi-shard ticks (the small matrix
+// shapes keep shards busy but tiny). Under -short it still runs — one
+// modest run — so plain `go test ./...` keeps covering it.
+func TestParallelRaceShape(t *testing.T) {
+	p, tasks := 4096, 16384
+	if testing.Short() {
+		p, tasks = 1024, 4096
+	}
+	base := Scenario{Algorithm: AlgoPaRan1, Adversary: "fair", P: p, T: tasks, D: 2, Seed: 23}
+	seq, err := Run(base)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	sc := base
+	sc.Shards = 4
+	par, err := Run(sc)
+	if err != nil {
+		t.Fatalf("shards=4: %v", err)
+	}
+	if !reflect.DeepEqual(seq.Sim, par.Sim) {
+		t.Fatalf("p=%d shards=4 diverged from sequential", p)
+	}
+}
+
+// TestResolveShards pins the shard-policy resolution: 0/1 sequential,
+// auto scaling with width, clamping to p.
+func TestResolveShards(t *testing.T) {
+	for _, tc := range []struct{ req, p, want int }{
+		{0, 65536, 1},
+		{1, 65536, 1},
+		{4, 65536, 4},
+		{4, 3, 3},       // clamp to p
+		{ShardsAuto, 1024, 1}, // too narrow to shard
+	} {
+		if got := ResolveShards(tc.req, tc.p); got != tc.want {
+			t.Errorf("ResolveShards(%d, %d) = %d, want %d", tc.req, tc.p, got, tc.want)
+		}
+	}
+	if got := ResolveShards(ShardsAuto, 1<<20); got < 1 {
+		t.Errorf("auto resolution returned %d", got)
+	}
+}

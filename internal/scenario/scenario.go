@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	goruntime "runtime"
 	"time"
 
 	rt "doall/internal/runtime"
@@ -79,6 +80,47 @@ type Scenario struct {
 	// Backend selects the execution substrate: BackendSim (default),
 	// BackendSimLegacy, or BackendRuntime.
 	Backend string `json:"backend,omitempty"`
+	// Shards is the intra-run parallelism of the simulator backend: each
+	// time unit's live-processor schedule is split into Shards contiguous
+	// ranges stepped on worker goroutines, with a serial deterministic
+	// reduction keeping results byte-identical to the sequential engine
+	// at every shard count. 0 and 1 mean sequential (today's engine,
+	// bit-for-bit); ShardsAuto (-1) resolves from GOMAXPROCS and the run
+	// width at execution time; other values are clamped to P. Non-sim
+	// backends ignore it. Shards changes wall-clock time only, never the
+	// Result — so it is deliberately excluded from sweep cell seeds.
+	Shards int `json:"shards,omitempty"`
+}
+
+// ShardsAuto, assigned to Scenario.Shards (or passed on a -shards flag as
+// the word "auto"), picks the shard count at run time from GOMAXPROCS and
+// the processor count; see ResolveShards.
+const ShardsAuto = -1
+
+// ResolveShards translates a requested shard policy into the literal
+// shard count handed to sim.Config for a run of width p. 0 and 1 select
+// the sequential engine; negative values (ShardsAuto) pick
+// min(GOMAXPROCS, p/2048) — capped so every shard keeps a few thousand
+// processors of work per tick, below which fan-out overhead beats the
+// parallel win — and anything above p is clamped to p.
+func ResolveShards(requested, p int) int {
+	if requested == 0 || requested == 1 {
+		return 1
+	}
+	if requested < 0 {
+		s := p / 2048
+		if max := goruntime.GOMAXPROCS(0); s > max {
+			s = max
+		}
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	if requested > p {
+		return p
+	}
+	return requested
 }
 
 // WithDefaults returns the scenario with every zero optional field
@@ -175,6 +217,9 @@ func (sc Scenario) Validate() error {
 	default:
 		return fmt.Errorf("scenario: unknown backend %q (known: %s, %s, %s)",
 			sc.Backend, BackendSim, BackendSimLegacy, BackendRuntime)
+	}
+	if sc.Shards < ShardsAuto {
+		return fmt.Errorf("scenario: shards=%d out of range (want ≥ -1; -1 = auto)", sc.Shards)
 	}
 	return nil
 }
@@ -284,7 +329,10 @@ func RunOnWith(eng *sim.Engine, sc Scenario, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := eng.Run(sim.Config{P: sc.P, T: sc.T, MaxSteps: sc.MaxSteps, Observer: opts.Observer}, ms, adv)
+	res, err := eng.Run(sim.Config{
+		P: sc.P, T: sc.T, MaxSteps: sc.MaxSteps, Observer: opts.Observer,
+		Shards: ResolveShards(sc.Shards, sc.P),
+	}, ms, adv)
 	if res == nil {
 		return nil, err
 	}
@@ -316,7 +364,9 @@ func RunWith(sc Scenario, opts Options) (*Result, error) {
 		cfg := sim.Config{P: sc.P, T: sc.T, MaxSteps: sc.MaxSteps, Observer: opts.Observer}
 		engine := sim.Run
 		if sc.Backend == BackendSimLegacy {
-			engine = sim.RunLegacy
+			engine = sim.RunLegacy // the reference engine ignores Shards
+		} else {
+			cfg.Shards = ResolveShards(sc.Shards, sc.P)
 		}
 		res, err := engine(cfg, ms, adv)
 		if res == nil {

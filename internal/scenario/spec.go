@@ -31,6 +31,10 @@ type SweepSpec struct {
 	MaxSteps int64 `json:"max_steps,omitempty"`
 	// Theory adds the paper's closed-form bound columns to every cell.
 	Theory bool `json:"theory,omitempty"`
+	// Shards is each cell's intra-run parallelism (Scenario.Shards):
+	// 0/1 sequential, -1 (ShardsAuto) resolved per cell at run time.
+	// Results are shard-invariant; only wall-clock time changes.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ParseSweepSpec decodes a JSON sweep document, rejecting unknown fields
@@ -59,6 +63,7 @@ func (s SweepSpec) Config() SweepConfig {
 		Trials:      s.Trials,
 		MaxSteps:    s.MaxSteps,
 		Theory:      s.Theory,
+		Shards:      s.Shards,
 	}
 }
 
@@ -114,6 +119,9 @@ func (s SweepSpec) Validate() error {
 		if d > maxD {
 			maxD = d
 		}
+	}
+	if s.Shards < ShardsAuto {
+		return fmt.Errorf("sweep: shards=%d out of range (want ≥ -1; -1 = auto)", s.Shards)
 	}
 	advs := s.Adversaries
 	if len(advs) == 0 {

@@ -42,6 +42,13 @@ type SweepConfig struct {
 	Workers int
 	// MaxSteps overrides the simulator step cap per run (0 = default).
 	MaxSteps int64
+	// Shards is each cell's intra-run parallelism (Scenario.Shards): 0/1
+	// sequential, ShardsAuto resolves per cell from GOMAXPROCS and the
+	// cell's p. Shards changes only wall-clock time (NsPerRun); every
+	// model measure is byte-identical at any value, so it does not enter
+	// cell seeds. Intra-run shards multiply with sweep Workers — prefer
+	// Workers for wide grids and Shards for grids of few huge cells.
+	Shards int
 	// Theory adds the paper's closed-form curves to every cell:
 	// LowerBound (Theorems 3.1/3.4), DAUpperBound (Theorem 5.5, ε = 0.5 as
 	// in experiment E6), PAUpperBound (Theorems 6.2/6.3), and the
@@ -94,6 +101,11 @@ type Cell struct {
 	// NsPerRun is wall-clock nanoseconds per simulation run (engine
 	// throughput, not a model quantity).
 	NsPerRun int64 `json:"ns_per_run"`
+	// Shards is the resolved intra-run shard count the cell executed
+	// with (1 = sequential engine; omitted in pre-parallel baselines).
+	// It contextualizes NsPerRun only — model measures are shard-
+	// invariant.
+	Shards int `json:"shards,omitempty"`
 	// Theory columns (present when SweepConfig.Theory): the paper's
 	// closed-form curves at this cell's shape and the measured-over-lower-
 	// bound overhead ratio. Bounds hide constants, so only growth and
@@ -148,6 +160,7 @@ func (c SweepConfig) Specs() []Scenario {
 							D:         d,
 							Seed:      CellSeed(c.BaseSeed, algo, p, t, d),
 							MaxSteps:  c.MaxSteps,
+							Shards:    c.Shards,
 						})
 					}
 				}
@@ -252,6 +265,7 @@ func RunCellObserved(ctx context.Context, eng *sim.Engine, sc Scenario, trials i
 	cell := Cell{
 		Algo: sc.Algorithm, Adversary: sc.Adversary,
 		P: sc.P, T: sc.T, D: sc.D, Seed: sc.Seed, Trials: trials,
+		Shards: ResolveShards(sc.Shards, sc.P),
 	}
 	start := time.Now()
 	for i := 0; i < trials; i++ {
@@ -303,6 +317,10 @@ type SweepReport struct {
 	Engine string `json:"engine"`
 	// GoMaxProcs records the worker ceiling the sweep ran under.
 	GoMaxProcs int `json:"gomaxprocs"`
+	// Shards is the requested intra-run shard policy (ShardsAuto = -1);
+	// each cell additionally records its resolved count. Omitted (0) in
+	// baselines recorded before the parallel tick engine.
+	Shards int `json:"shards,omitempty"`
 	// Adversary is the grid's adversary axis: one expression, or several
 	// joined with ";".
 	Adversary string `json:"adversary"`
@@ -335,6 +353,7 @@ func NewSweepReportContext(ctx context.Context, c SweepConfig) (SweepReport, err
 	return SweepReport{
 		Engine:     "multicast-wheel-grouped",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     c.Shards,
 		Adversary:  strings.Join(c.Adversaries, ";"),
 		BaseSeed:   c.BaseSeed,
 		Theory:     c.Theory,

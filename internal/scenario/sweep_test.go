@@ -189,13 +189,15 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 // exactly. This is the cross-PR determinism contract: engine rewrites may
 // only move ns_per_run, never the model quantities.
 func TestBench0CellsReproduce(t *testing.T) {
-	assertBenchCellsReproduce(t, "BENCH_0.json", 16, 256, 9)
+	assertBenchCellsReproduce(t, "BENCH_0.json", 16, 256, 9, 1)
 }
 
 // assertBenchCellsReproduce re-runs the (p, t) corner of a committed
 // baseline (PaDet excluded for its schedule-search cost) and requires
-// the recorded work/messages/solved_at to reproduce exactly.
-func assertBenchCellsReproduce(t *testing.T, file string, p, tasks, wantChecked int) {
+// the recorded work/messages/solved_at to reproduce exactly. shards is
+// the intra-run shard count to replay under — recorded baselines are
+// shard-invariant, so every value must reproduce the same bytes.
+func assertBenchCellsReproduce(t *testing.T, file string, p, tasks, wantChecked, shards int) {
 	t.Helper()
 	data, err := os.ReadFile("../../" + file)
 	if err != nil {
@@ -215,7 +217,7 @@ func assertBenchCellsReproduce(t *testing.T, file string, p, tasks, wantChecked 
 		if adv == "" {
 			adv = rep.Adversary // pre-adversary-axis baselines (BENCH_0)
 		}
-		sc := Scenario{Algorithm: c.Algo, Adversary: adv, P: c.P, T: c.T, D: c.D, Seed: c.Seed}
+		sc := Scenario{Algorithm: c.Algo, Adversary: adv, P: c.P, T: c.T, D: c.D, Seed: c.Seed, Shards: shards}
 		got := RunCellOn(context.Background(), eng, sc, c.Trials, false)
 		if got.Err != "" {
 			t.Fatalf("cell %s/d=%d failed: %s", c.Algo, c.D, got.Err)
@@ -236,7 +238,7 @@ func assertBenchCellsReproduce(t *testing.T, file string, p, tasks, wantChecked 
 // reproduce exactly under the versioned knowledge plane and the grouped
 // delivery engine.
 func TestBench1CellsReproduce(t *testing.T) {
-	assertBenchCellsReproduce(t, "BENCH_1.json", 64, 256, 9)
+	assertBenchCellsReproduce(t, "BENCH_1.json", 64, 256, 9, 1)
 }
 
 // TestBench2CellsReproduce extends the determinism contract to the
@@ -248,7 +250,59 @@ func TestBench2CellsReproduce(t *testing.T) {
 	if testing.Short() {
 		t.Skip("re-measures large shapes")
 	}
-	assertBenchCellsReproduce(t, "BENCH_2.json", 1024, 65536, 6)
+	assertBenchCellsReproduce(t, "BENCH_2.json", 1024, 65536, 6, 1)
+}
+
+// TestBench2CellsReproduceSharded replays the same BENCH_2 corner under
+// the parallel tick engine (4 shards): sharding is a pure execution
+// strategy, so the recorded baseline must reproduce byte-identically at
+// any shard count.
+func TestBench2CellsReproduceSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-measures large shapes")
+	}
+	assertBenchCellsReproduce(t, "BENCH_2.json", 1024, 65536, 6, 4)
+}
+
+// TestBench3SchemaReadable guards the BENCH_3.json p=65536 sharding-era
+// baseline: it must parse, carry the theory columns, stamp gomaxprocs
+// and the per-cell resolved shard count, and reach t=2^22.
+func TestBench3SchemaReadable(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_3.json")
+	if err != nil {
+		t.Skipf("BENCH_3.json not present: %v", err)
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_3.json no longer parses: %v", err)
+	}
+	if !rep.Theory {
+		t.Fatal("BENCH_3.json lost its theory marker")
+	}
+	if rep.GoMaxProcs < 1 {
+		t.Fatalf("BENCH_3.json gomaxprocs = %d, want ≥ 1", rep.GoMaxProcs)
+	}
+	maxT := 0
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s/%s p=%d t=%d d=%d recorded an error: %s", c.Algo, c.Adversary, c.P, c.T, c.D, c.Err)
+		}
+		if c.P != 65536 {
+			t.Errorf("cell %s t=%d: p = %d, want 65536", c.Algo, c.T, c.P)
+		}
+		if c.Shards < 1 {
+			t.Errorf("cell %s/%s t=%d missing its resolved shards stamp", c.Algo, c.Adversary, c.T)
+		}
+		if c.LowerBound <= 0 || c.WorkOverLB <= 0 {
+			t.Errorf("cell %s/%s t=%d missing theory columns", c.Algo, c.Adversary, c.T)
+		}
+		if c.T > maxT {
+			maxT = c.T
+		}
+	}
+	if maxT < 4194304 {
+		t.Fatalf("BENCH_3 grid tops out at t=%d, want ≥ 4194304 (2^22)", maxT)
+	}
 }
 
 // TestBench2SchemaReadable guards the BENCH_2.json large-shape baseline:

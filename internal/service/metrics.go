@@ -28,6 +28,11 @@ type metrics struct {
 	// enginesInflight counts workers currently inside a cell simulation
 	// (= busy engines; the fleet size is the pool bound).
 	enginesInflight atomic.Int64
+	// shardsInflight counts tick-shard goroutines the busy engines fan
+	// out across (the resolved Shards of every in-flight cell summed) —
+	// the fleet's true CPU occupancy once intra-run parallelism is on.
+	// Equals enginesInflight while every cell runs sequentially.
+	shardsInflight atomic.Int64
 
 	// buckets is a ring of per-second cell-completion counts behind the
 	// doalld_cells_per_second gauge (rate over the trailing window).
@@ -174,6 +179,8 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	p("doalld_engine_pool_size %d\n", g.workers)
 	p("# HELP doalld_engines_inflight Engines currently executing a cell (pool occupancy).\n# TYPE doalld_engines_inflight gauge\n")
 	p("doalld_engines_inflight %d\n", busy)
+	p("# HELP doalld_shard_threads_inflight Tick-shard goroutines across busy engines (resolved intra-run shards summed; CPU occupancy under sharding).\n# TYPE doalld_shard_threads_inflight gauge\n")
+	p("doalld_shard_threads_inflight %d\n", m.shardsInflight.Load())
 
 	p("# HELP doalld_sim_steps_total Machine steps executed across all cells (Observer.OnStep).\n# TYPE doalld_sim_steps_total counter\n")
 	p("doalld_sim_steps_total %d\n", steps)

@@ -70,6 +70,14 @@ type Config struct {
 	// DefaultTimeout is the wall-clock budget applied to jobs that
 	// declare none. 0 means unlimited.
 	DefaultTimeout time.Duration
+	// Shards is the daemon-wide default intra-run parallelism applied to
+	// cells whose spec does not set its own (scenario.Scenario.Shards):
+	// 0/1 sequential, -1 (scenario.ShardsAuto) resolved per cell from
+	// GOMAXPROCS and the cell's p. Shards multiply with Workers — every
+	// busy engine fans its tick across that many goroutines — so size
+	// Workers × Shards against the machine, not each knob alone. Results
+	// are shard-invariant; only throughput changes.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -434,8 +442,17 @@ func (s *Service) worker(id int) {
 		if !ok {
 			return
 		}
+		spec := t.specs[i]
+		if spec.Shards == 0 {
+			// The daemon-wide default applies only where the job did not
+			// choose: a spec's explicit shard count (including 1) wins.
+			spec.Shards = s.cfg.Shards
+		}
+		shards := int64(scenario.ResolveShards(spec.Shards, spec.P))
 		s.metrics.enginesInflight.Add(1)
-		cell := scenario.RunCellObserved(t.ctx, eng, t.specs[i], t.trials, t.theory, obs)
+		s.metrics.shardsInflight.Add(shards)
+		cell := scenario.RunCellObserved(t.ctx, eng, spec, t.trials, t.theory, obs)
+		s.metrics.shardsInflight.Add(-shards)
 		s.metrics.enginesInflight.Add(-1)
 		s.finishCell(t, i, cell)
 	}

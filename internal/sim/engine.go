@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"doall/internal/bitset"
 )
@@ -81,6 +82,23 @@ type Engine struct {
 	batchers  []BatchConsumer
 	freeBatch []*Batch
 	scratch   []Delivery // materialized inbox for non-BatchConsumer machines
+
+	// Parallel tick engine state (Config.Shards > 1); see parallel.go.
+	// shards is the resolved per-run shard count (1 = sequential). The
+	// shard blocks hold per-shard scratch and the parked worker goroutines'
+	// wake channels; stepList/parRes/isA1 are the per-tick schedule, the
+	// captured step results, and the serially-pre-stepped (phase A1)
+	// positions.
+	shards    int
+	shard     []shardBlock
+	stepList  []int32
+	parRes    []StepResult
+	isA1      []bool
+	parDone   sync.WaitGroup
+	parNow    int64
+	parN      int
+	parNsh    int
+	launched  int // worker goroutines running (shards 1..launched)
 }
 
 // NewEngine returns an empty engine; the first Run sizes its buffers.
@@ -228,6 +246,15 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 	}
 	ia, ok := adv.(InboxAgnostic)
 	e.grouped = p > 1 && cfg.Observer == nil && ok && ia.InboxAgnostic()
+	e.shards = 1
+	if cfg.Shards > 1 && p > 1 {
+		s := cfg.Shards
+		if s > p {
+			s = p
+		}
+		e.shards = s
+		e.ensureShards(s)
+	}
 	// A drain (or a fresh engine) leaves the ring empty; defensively drop
 	// any leftovers without recycling — they could reference the previous
 	// run's machines.
@@ -463,7 +490,16 @@ func (e *Engine) deliverOne(mc *Multicast, j int, at int64) {
 // time order. Batches and per-recipient deliveries never share a time
 // unit, so ordering by At reproduces the eager path's inbox exactly.
 func (e *Engine) materialize(pend []*Batch, inbox []Delivery, i int) []Delivery {
-	sc := e.scratch[:0]
+	sc, grown := materializeInto(e.scratch, pend, inbox, i)
+	e.scratch = grown
+	return sc
+}
+
+// materializeInto is materialize over caller-owned scratch (the parallel
+// engine materializes into shard-private scratch); it returns the built
+// view and the possibly-grown backing slice for the caller to keep.
+func materializeInto(buf []Delivery, pend []*Batch, inbox []Delivery, i int) (view, grown []Delivery) {
+	sc := buf[:0]
 	bi := 0
 	for _, b := range pend {
 		for bi < len(inbox) && inbox[bi].At < b.At {
@@ -477,8 +513,168 @@ func (e *Engine) materialize(pend []*Batch, inbox []Delivery, i int) []Delivery 
 		}
 	}
 	sc = append(sc, inbox[bi:]...)
-	e.scratch = sc
-	return sc
+	return sc, sc
+}
+
+// stepMachine runs machine i's local step for this time unit and returns
+// its StepResult, touching NO engine-shared mutable state: batch cursors,
+// remaining counts, inbox truncation, accounting, broadcasts, and sends
+// are all applied later by finishStep. The split is what makes the
+// parallel tick engine possible — concurrent stepMachine calls for
+// distinct machines are data-race-free because a step reads only the
+// machine's own state, immutable snapshots/batches, and published
+// combined caches (built before the parallel phase; see tickPar).
+//
+// sb selects the scratch the call may use: nil means the engine's own
+// (the sequential path and the serial phase A1); a shard block routes
+// batch views through the shard's shadow batches and materializes
+// non-BatchConsumer inboxes into shard-private scratch.
+func (e *Engine) stepMachine(i int, now int64, sb *shardBlock) StepResult {
+	inbox := e.inbox[i]
+	if e.grouped {
+		cur := e.cursor[i]
+		if cur < e.ringSeq0 {
+			cur = e.ringSeq0 // defensively; cannot happen for live processors
+		}
+		if cur < e.batchSeq {
+			off := int(cur - e.ringSeq0)
+			if bc := e.batchers[i]; bc != nil {
+				if sb != nil {
+					return bc.StepBatched(now, sb.shadow[off:sb.nshadow], inbox)
+				}
+				return bc.StepBatched(now, e.ringBuf[e.ringHead+off:], inbox)
+			}
+			pend := e.ringBuf[e.ringHead+off:]
+			if sb != nil {
+				var sc []Delivery
+				sc, sb.scratch = materializeInto(sb.scratch, pend, inbox, i)
+				return e.machines[i].Step(now, sc)
+			}
+			return e.machines[i].Step(now, e.materialize(pend, inbox, i))
+		}
+	}
+	return e.machines[i].Step(now, inbox)
+}
+
+// finishStep applies everything a completed step changes outside the
+// machine itself, in the engine's canonical serial order: batch cursor
+// advancement and remaining counts, inbox release and truncation, the
+// observer hook, work accounting, task-ledger updates, the broadcast and
+// point-to-point sends (with their adversary delay queries, in schedule
+// order — this is what keeps stateful delay streams and pool LIFO order
+// byte-identical between the sequential and parallel engines), halting,
+// and the informed check.
+func (e *Engine) finishStep(i int, now int64, r *StepResult, informed *bool) {
+	if e.grouped {
+		cur := e.cursor[i]
+		if cur < e.ringSeq0 {
+			cur = e.ringSeq0
+		}
+		if cur < e.batchSeq {
+			pend := e.ringBuf[e.ringHead+int(cur-e.ringSeq0):]
+			for _, b := range pend {
+				b.remaining--
+			}
+			e.cursor[i] = e.batchSeq
+		}
+	}
+	// The machine consumed its inbox: drop the delivery references
+	// (recycling records whose last recipient this was) and reuse the
+	// backing array for future deliveries. The stale entries beyond
+	// the truncated length are not cleared on the hot path — they can
+	// only reference pooled records, which the engine keeps alive
+	// anyway; reset clears everything between runs.
+	inbox := e.inbox[i]
+	for _, d := range inbox {
+		e.release(d.MC)
+	}
+	e.inbox[i] = inbox[:0]
+	if e.obs != nil {
+		// Copy before handing out the address: the engine-owned result
+		// must not escape through the hook.
+		hooked := *r
+		e.obs.OnStep(i, now, &hooked)
+	}
+
+	e.res.TotalSteps++
+	e.res.PerProcWork[i]++
+	if !e.res.Solved {
+		e.res.Work++
+	}
+
+	if z := r.PerformedTask(); z != NoTask {
+		if z < 0 || z >= e.cfg.T {
+			panic(fmt.Sprintf("sim: machine %d performed out-of-range task %d", i, z))
+		}
+		e.res.TaskExecutions++
+		if e.res.FirstDoneAt[z] == -1 || e.res.FirstDoneAt[z] == now {
+			e.res.PrimaryExecutions++
+		} else {
+			e.res.SecondaryExecutions++
+		}
+		if e.tasks.MarkDone(z) {
+			e.res.FirstDoneAt[z] = now
+		}
+	}
+
+	if r.Broadcast != nil && e.cfg.P > 1 {
+		e.broadcast(i, now, r.Broadcast)
+	}
+
+	for _, snd := range r.Sends {
+		if snd.To < 0 || snd.To >= e.cfg.P || snd.To == i || snd.Payload == nil {
+			continue
+		}
+		delay := e.adv.Delay(i, snd.To, now)
+		if delay < 1 || delay > e.d {
+			panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, e.d))
+		}
+		if e.omitter != nil && e.omitter.Omit(i, snd.To, now) {
+			// The send is charged, the copy never flies; the payload
+			// goes straight back to the sender's pool.
+			e.res.TotalMessages++
+			if !e.res.Solved {
+				e.res.Messages++
+				if sz, ok := snd.Payload.(Payload); ok {
+					e.res.Bytes += int64(sz.WireSize())
+				}
+			}
+			if e.obs != nil {
+				e.obs.OnOmit(i, snd.To, now)
+				e.obs.OnMulticast(i, now, snd.Payload, 1)
+			}
+			if rc := e.recyclers[i]; rc != nil {
+				rc.RecyclePayload(snd.Payload)
+			}
+			continue
+		}
+		mc := e.getMC(i, now, snd.Payload, 1)
+		e.wheel.push(wevent{mc: mc, to: int32(snd.To)}, now+delay)
+		e.inflight++
+		e.res.TotalMessages++
+		if !e.res.Solved {
+			e.res.Messages++
+			if sz, ok := snd.Payload.(Payload); ok {
+				e.res.Bytes += int64(sz.WireSize())
+			}
+		}
+		if e.obs != nil {
+			e.obs.OnMulticast(i, now, snd.Payload, 1)
+		}
+	}
+
+	if r.Halt {
+		if !e.halted[i] {
+			e.stopped++
+		}
+		e.halted[i] = true
+		if !e.res.Solved && !(e.tasks.Undone() == 0 && e.machines[i].KnowsAllDone()) {
+			e.res.HaltedEarly = true
+		}
+	}
+	if e.tasks.Undone() == 0 && e.machines[i].KnowsAllDone() {
+		*informed = true
+	}
 }
 
 // tick advances one global time unit (mirrors legacyState.tick step for
@@ -535,131 +731,23 @@ func (e *Engine) tick(now int64) {
 	e.nextWake = dec.NextWake
 	stepped := 0
 
-	// 3. Execute the scheduled local steps.
+	// 3. Execute the scheduled local steps, in parallel shards when
+	// configured (and the tick qualifies), sequentially otherwise. Both
+	// paths are stepMachine + finishStep per scheduled processor, so they
+	// cannot diverge.
 	informed := false
-	for _, i := range dec.Active {
-		if i < 0 || i >= e.cfg.P || e.crashed[i] || e.halted[i] {
-			continue
-		}
-		inbox := e.inbox[i]
-		var pend []*Batch
-		if e.grouped && e.cursor[i] < e.batchSeq {
-			if e.cursor[i] < e.ringSeq0 {
-				e.cursor[i] = e.ringSeq0 // defensively; cannot happen for live processors
-			}
-			pend = e.ringBuf[e.ringHead+int(e.cursor[i]-e.ringSeq0):]
-		}
-		var r StepResult
-		if len(pend) > 0 {
-			if bc := e.batchers[i]; bc != nil {
-				r = bc.StepBatched(now, pend, inbox)
-			} else {
-				r = e.machines[i].Step(now, e.materialize(pend, inbox, i))
-			}
-			e.cursor[i] = e.batchSeq
-			for _, b := range pend {
-				b.remaining--
-			}
-		} else {
-			r = e.machines[i].Step(now, inbox)
-		}
-		// The machine consumed its inbox: drop the delivery references
-		// (recycling records whose last recipient this was) and reuse the
-		// backing array for future deliveries. The stale entries beyond
-		// the truncated length are not cleared on the hot path — they can
-		// only reference pooled records, which the engine keeps alive
-		// anyway; reset clears everything between runs.
-		for _, d := range inbox {
-			e.release(d.MC)
-		}
-		e.inbox[i] = inbox[:0]
-		stepped++
-		if e.obs != nil {
-			// Copy before taking the address: handing &r itself to the
-			// hook would make every step's result escape to the heap,
-			// observer or not.
-			hooked := r
-			e.obs.OnStep(i, now, &hooked)
-		}
-
-		e.res.TotalSteps++
-		e.res.PerProcWork[i]++
-		if !e.res.Solved {
-			e.res.Work++
-		}
-
-		if z := r.PerformedTask(); z != NoTask {
-			if z < 0 || z >= e.cfg.T {
-				panic(fmt.Sprintf("sim: machine %d performed out-of-range task %d", i, z))
-			}
-			e.res.TaskExecutions++
-			if e.res.FirstDoneAt[z] == -1 || e.res.FirstDoneAt[z] == now {
-				e.res.PrimaryExecutions++
-			} else {
-				e.res.SecondaryExecutions++
-			}
-			if e.tasks.MarkDone(z) {
-				e.res.FirstDoneAt[z] = now
-			}
-		}
-
-		if r.Broadcast != nil && e.cfg.P > 1 {
-			e.broadcast(i, now, r.Broadcast)
-		}
-
-		for _, snd := range r.Sends {
-			if snd.To < 0 || snd.To >= e.cfg.P || snd.To == i || snd.Payload == nil {
+	ranPar := false
+	if e.shards > 1 {
+		stepped, informed, ranPar = e.tickPar(now)
+	}
+	if !ranPar {
+		for _, i := range dec.Active {
+			if i < 0 || i >= e.cfg.P || e.crashed[i] || e.halted[i] {
 				continue
 			}
-			delay := e.adv.Delay(i, snd.To, now)
-			if delay < 1 || delay > e.d {
-				panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, e.d))
-			}
-			if e.omitter != nil && e.omitter.Omit(i, snd.To, now) {
-				// The send is charged, the copy never flies; the payload
-				// goes straight back to the sender's pool.
-				e.res.TotalMessages++
-				if !e.res.Solved {
-					e.res.Messages++
-					if sz, ok := snd.Payload.(Payload); ok {
-						e.res.Bytes += int64(sz.WireSize())
-					}
-				}
-				if e.obs != nil {
-					e.obs.OnOmit(i, snd.To, now)
-					e.obs.OnMulticast(i, now, snd.Payload, 1)
-				}
-				if rc := e.recyclers[i]; rc != nil {
-					rc.RecyclePayload(snd.Payload)
-				}
-				continue
-			}
-			mc := e.getMC(i, now, snd.Payload, 1)
-			e.wheel.push(wevent{mc: mc, to: int32(snd.To)}, now+delay)
-			e.inflight++
-			e.res.TotalMessages++
-			if !e.res.Solved {
-				e.res.Messages++
-				if sz, ok := snd.Payload.(Payload); ok {
-					e.res.Bytes += int64(sz.WireSize())
-				}
-			}
-			if e.obs != nil {
-				e.obs.OnMulticast(i, now, snd.Payload, 1)
-			}
-		}
-
-		if r.Halt {
-			if !e.halted[i] {
-				e.stopped++
-			}
-			e.halted[i] = true
-			if !e.res.Solved && !(e.tasks.Undone() == 0 && e.machines[i].KnowsAllDone()) {
-				e.res.HaltedEarly = true
-			}
-		}
-		if e.tasks.Undone() == 0 && e.machines[i].KnowsAllDone() {
-			informed = true
+			r := e.stepMachine(i, now, nil)
+			stepped++
+			e.finishStep(i, now, &r, &informed)
 		}
 	}
 	e.idle = stepped == 0

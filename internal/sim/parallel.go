@@ -1,0 +1,259 @@
+package sim
+
+// The intra-run parallel tick engine (Config.Shards > 1). One time unit's
+// scheduled steps are executed by worker goroutines in three phases:
+//
+//  A1 (serial): under the grouped delivery path, the processors the
+//      sequential engine would hand each pending batch to first — the
+//      strictly-decreasing prefix minima of the consumers' batch cursors
+//      in schedule order — step against the real ring batches, so every
+//      shared combined-knowledge cache is built by exactly the machine
+//      (and exactly the cursor state) the sequential engine would use.
+//  A2 (parallel): the remaining schedule positions are split into
+//      contiguous shards; each shard's machines step concurrently against
+//      shard-private shadow views of the ring (sharing the immutable
+//      multicast lists and the phase-A1 combined caches), so a machine
+//      that would build a cache in this phase publishes into its shard's
+//      shadow, never into a structure another shard reads.
+//  B (serial): the captured StepResults are applied in schedule order —
+//      cursor advancement, inbox release, accounting, broadcasts, sends,
+//      halts — so every engine-shared structure (the adversary's delay
+//      stream, the multicast pool, the task ledger, the Result) mutates
+//      in exactly the sequential engine's order.
+//
+// Byte-identity argument, in brief: steps within one time unit are
+// input-independent (messages sent at time τ deliver at τ+1 at the
+// earliest), a step reads only its machine's private state plus immutable
+// snapshots and published caches, phase A1 pins cache construction to the
+// sequential builders, and phase B replays every shared-state mutation in
+// schedule order. The equivalence matrix in internal/scenario asserts the
+// identity across all algorithms, fault adversaries, and shard counts.
+//
+// Ticks that cannot be proven safe fall back to the sequential loop for
+// that unit: a schedule that is not strictly increasing (no registered
+// adversary produces one, but Decision.Active is caller data) or one with
+// fewer than two runnable machines.
+
+// shardBlock is one shard's private scratch: the worker's wake channel,
+// materialization scratch for non-BatchConsumer machines, and the shadow
+// ring views. The leading and trailing pads keep neighboring blocks in
+// the engine's shard slice from sharing cache lines, so concurrent
+// scratch writes never false-share.
+type shardBlock struct {
+	_       [64]byte
+	wake    chan struct{} // nil until the shard's worker is launched (shard 0 has none)
+	scratch []Delivery
+	shadow  []*Batch
+	nshadow int
+	_       [64]byte
+}
+
+// ensureShards grows the shard-block slice to nsh entries and launches
+// the parked worker goroutines for shards 1..nsh-1 (shard 0 runs on the
+// engine's goroutine). Workers are launched once and then parked on
+// their wake channels between ticks and between runs — respawning per
+// tick would put a goroutine-closure allocation on the steady-state hot
+// path. Close stops them.
+func (e *Engine) ensureShards(nsh int) {
+	if len(e.shard) < nsh {
+		blocks := make([]shardBlock, nsh)
+		copy(blocks, e.shard)
+		e.shard = blocks
+	}
+	for s := e.launched + 1; s < nsh; s++ {
+		if e.shard[s].wake == nil {
+			wake := make(chan struct{}, 1)
+			e.shard[s].wake = wake
+			go e.shardWorker(s, wake)
+		}
+	}
+	if nsh-1 > e.launched {
+		e.launched = nsh - 1
+	}
+}
+
+// shardWorker is one parked worker: each wake runs its shard's slice of
+// the current tick's schedule. The wake send happens-before the worker's
+// reads of the tick state, and the worker's result writes happen-before
+// the engine's parDone.Wait return.
+func (e *Engine) shardWorker(s int, wake <-chan struct{}) {
+	for range wake {
+		e.runShard(s)
+		e.parDone.Done()
+	}
+}
+
+// Close stops the engine's parked shard workers. The engine stays
+// usable — the next parallel run relaunches them — so Close is only
+// needed when discarding many sharded engines (tests, short-lived
+// fleets); an engine dropped without Close parks its workers until the
+// engine (and with it the channels) is collected, at which point they
+// are unreachable and the runtime reclaims them only at process exit.
+func (e *Engine) Close() {
+	for s := 1; s <= e.launched && s < len(e.shard); s++ {
+		if e.shard[s].wake != nil {
+			close(e.shard[s].wake)
+			e.shard[s].wake = nil
+		}
+	}
+	e.launched = 0
+}
+
+// shardRange returns shard s's half-open slice [lo, hi) of n schedule
+// positions split into nsh contiguous near-equal ranges.
+func shardRange(n, nsh, s int) (lo, hi int) {
+	base, rem := n/nsh, n%nsh
+	lo = s * base
+	if s < rem {
+		lo += s
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if s < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// runShard steps every non-phase-A1 machine in shard s's range of the
+// current tick's schedule, capturing results into parRes.
+func (e *Engine) runShard(s int) {
+	lo, hi := shardRange(e.parN, e.parNsh, s)
+	sb := &e.shard[s]
+	now := e.parNow
+	for k := lo; k < hi; k++ {
+		if e.isA1[k] {
+			continue
+		}
+		e.parRes[k] = e.stepMachine(int(e.stepList[k]), now, sb)
+	}
+}
+
+// tickPar executes one time unit's scheduled steps in parallel. It
+// returns (stepped, informed, true) when it ran, or ok=false when the
+// tick does not qualify and the caller must run the sequential loop
+// (nothing has been mutated in that case).
+func (e *Engine) tickPar(now int64) (int, bool, bool) {
+	// Filter the schedule exactly like the sequential loop, bailing out if
+	// it is not strictly increasing (the replay phase assumes each
+	// processor steps at most once per unit, in index order).
+	sl := e.stepList[:0]
+	last := int32(-1)
+	for _, i := range e.dec.Active {
+		if i < 0 || i >= e.cfg.P || e.crashed[i] || e.halted[i] {
+			continue
+		}
+		if int32(i) <= last {
+			e.stepList = sl[:0]
+			return 0, false, false
+		}
+		last = int32(i)
+		sl = append(sl, int32(i))
+	}
+	e.stepList = sl
+	n := len(sl)
+	nsh := e.shards
+	if nsh > n {
+		nsh = n
+	}
+	if nsh < 2 {
+		e.stepList = sl[:0]
+		return 0, false, false
+	}
+	if cap(e.parRes) < n {
+		e.parRes = make([]StepResult, n)
+	}
+	e.parRes = e.parRes[:n]
+	if cap(e.isA1) < n {
+		e.isA1 = make([]bool, n)
+	}
+	e.isA1 = e.isA1[:n]
+	clear(e.isA1)
+
+	nb := 0
+	if e.grouped && e.batchSeq > e.ringSeq0 {
+		nb = int(e.batchSeq - e.ringSeq0)
+		// Phase A1: step the sequential builders against the real ring.
+		// The first consumer of pending batch b is the first scheduled
+		// machine whose cursor is ≤ b's sequence, so the set of first
+		// consumers over all pending batches is exactly the strictly-
+		// decreasing prefix minima of the cursors — stepping those
+		// serially publishes every combined cache the sequential engine
+		// would publish this unit, by the same builder, from the same
+		// cursor state.
+		minCur := e.batchSeq
+		for k, pid := range sl {
+			cur := e.cursor[pid]
+			if cur < e.ringSeq0 {
+				cur = e.ringSeq0
+			}
+			if cur < minCur {
+				minCur = cur
+				e.isA1[k] = true
+				e.parRes[k] = e.stepMachine(int(pid), now, nil)
+			}
+		}
+		// Seed every shard's shadow ring: same delivery times, the same
+		// immutable multicast lists, and the combined caches as published
+		// by phase A1 (and previous ticks). A shard machine that still
+		// finds a batch cache-less (payload-heterogeneous groups only)
+		// builds into its shard's shadow, invisible to other shards.
+		for s := 0; s < nsh; s++ {
+			sb := &e.shard[s]
+			for len(sb.shadow) < nb {
+				sb.shadow = append(sb.shadow, &Batch{Builder: -1})
+			}
+			for k := 0; k < nb; k++ {
+				rb := e.ringBuf[e.ringHead+k]
+				shb := sb.shadow[k]
+				shb.At = rb.At
+				shb.MCs = rb.MCs
+				shb.Combined = rb.Combined
+				shb.Builder = rb.Builder
+			}
+			sb.nshadow = nb
+		}
+	} else {
+		for s := 0; s < nsh; s++ {
+			e.shard[s].nshadow = 0
+		}
+	}
+
+	// Phase A2: fan the remaining positions out across the shards. The
+	// engine's goroutine runs shard 0 itself.
+	e.parNow, e.parN, e.parNsh = now, n, nsh
+	e.parDone.Add(nsh - 1)
+	for s := 1; s < nsh; s++ {
+		e.shard[s].wake <- struct{}{}
+	}
+	e.runShard(0)
+	e.parDone.Wait()
+
+	// Phase B: apply every result in schedule order.
+	informed := false
+	for k, pid := range sl {
+		e.finishStep(int(pid), now, &e.parRes[k], &informed)
+	}
+
+	// Reclaim shard-built shadow caches (the real batch kept the phase-A1
+	// cache, so a differing shadow cache is a duplicate owned by its
+	// builder) and drop the shadows' references so retired multicasts and
+	// caches do not outlive the tick through shard scratch.
+	for s := 0; s < nsh; s++ {
+		sb := &e.shard[s]
+		for k := 0; k < sb.nshadow; k++ {
+			shb := sb.shadow[k]
+			if shb.Combined != nil && shb.Combined != e.ringBuf[e.ringHead+k].Combined {
+				if rc := e.recyclers[shb.Builder]; rc != nil {
+					rc.RecyclePayload(shb.Combined)
+				}
+			}
+			shb.MCs = nil
+			shb.Combined = nil
+			shb.Builder = -1
+		}
+		sb.nshadow = 0
+	}
+	return n, informed, true
+}

@@ -519,6 +519,17 @@ type Config struct {
 	// event of the execution (see Observer). Nil costs nothing on the hot
 	// path. The legacy reference engine (RunLegacy) ignores it.
 	Observer Observer
+	// Shards enables the intra-run parallel tick engine: each time unit's
+	// live-processor schedule is split into Shards contiguous ranges whose
+	// Machine.Step calls run on worker goroutines, followed by a serial
+	// reduction in schedule order that applies broadcasts, sends, ledger
+	// updates, and accounting. Results are byte-identical at every shard
+	// count (asserted by the equivalence tests); only wall-clock time
+	// changes. Values ≤ 1 select the sequential engine; values above P are
+	// clamped. Shards must be a resolved count — callers offering an
+	// "auto" policy translate it before building the Config (see
+	// scenario.ResolveShards). The legacy reference engine ignores it.
+	Shards int
 }
 
 // ErrStepCap is returned when the simulation hits MaxSteps before the

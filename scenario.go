@@ -51,6 +51,17 @@ const (
 	BackendRuntime = scenario.BackendRuntime
 )
 
+// ShardsAuto, assigned to Scenario.Shards or SweepSpec.Shards, resolves
+// the intra-run shard count at run time from GOMAXPROCS and the run's
+// processor count (see ResolveShards). Results are identical at every
+// shard count; only wall-clock time changes.
+const ShardsAuto = scenario.ShardsAuto
+
+// ResolveShards translates a requested shard policy (0/1 sequential,
+// ShardsAuto, or an explicit count) into the literal shard count a run
+// of width p executes with.
+func ResolveShards(requested, p int) int { return scenario.ResolveShards(requested, p) }
+
 // RunScenario executes the scenario once on its backend.
 func RunScenario(sc Scenario) (*ScenarioResult, error) { return scenario.Run(sc) }
 
