@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"doall"
 	"doall/internal/adversary"
@@ -516,6 +517,7 @@ func BenchmarkParallelTickPA65536(b *testing.B) {
 	for _, s := range shardCounts {
 		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
 			eng := sim.NewEngine()
+			defer eng.Close()
 			cfg := sim.Config{P: p, T: t, Shards: s}
 			var work int64
 			b.ReportAllocs()
@@ -530,6 +532,44 @@ func BenchmarkParallelTickPA65536(b *testing.B) {
 				work = res.Work
 			}
 			b.ReportMetric(float64(work), "work")
+		})
+	}
+
+	// Phase sub-benchmarks: the same shape on the sharded engine, with
+	// ns/op overridden to that phase's wall-clock share (from the
+	// engine's PhaseProfile deltas), so the serial fraction of the tick —
+	// a1 + b against the total — is a measured number, not a guess.
+	phaseShards := doall.ResolveShards(doall.ShardsAuto, p)
+	if phaseShards < 2 {
+		phaseShards = 2
+	}
+	for pi, phase := range []string{"A1", "A2", "B"} {
+		b.Run("phase="+phase, func(b *testing.B) {
+			eng := sim.NewEngine()
+			defer eng.Close()
+			cfg := sim.Config{P: p, T: t, Shards: phaseShards}
+			b.ReportAllocs()
+			start := eng.PhaseProfile()
+			for i := 0; i < b.N; i++ {
+				if !sim.ResetMachines(ms) {
+					b.Fatal("PaRan1 machines must be resettable")
+				}
+				if _, err := eng.Run(cfg, ms, adv); err != nil {
+					b.Fatal(err)
+				}
+			}
+			prof := eng.PhaseProfile()
+			var dur time.Duration
+			switch pi {
+			case 0:
+				dur = prof.A1 - start.A1
+			case 1:
+				dur = prof.A2 - start.A2
+			case 2:
+				dur = prof.B - start.B
+			}
+			b.ReportMetric(float64(dur.Nanoseconds())/float64(b.N), "ns/op")
+			b.ReportMetric(float64(prof.Ticks-start.Ticks)/float64(b.N), "ticks/op")
 		})
 	}
 }

@@ -416,6 +416,18 @@ func writeSweep(ctx context.Context, cfg doall.SweepConfig, out string, w, errw 
 		// and say so, instead of discarding finished work.
 		fmt.Fprintf(errw, "sweep interrupted (%v): writing partial report\n", err)
 	}
+	if tp := rep.TickPhase; tp != nil {
+		// Where the sharded ticks' wall-clock went: the serial fraction
+		// (a1 + b against the total) bounds the achievable speedup.
+		total := tp.A1Seconds + tp.A2Seconds + tp.BSeconds
+		if total > 0 {
+			fmt.Fprintf(errw, "sweep: tick phases over %d parallel ticks: a1=%.2fs (%.1f%%) a2=%.2fs (%.1f%%) b=%.2fs (%.1f%%)\n",
+				tp.Ticks,
+				tp.A1Seconds, 100*tp.A1Seconds/total,
+				tp.A2Seconds, 100*tp.A2Seconds/total,
+				tp.BSeconds, 100*tp.BSeconds/total)
+		}
+	}
 	return rep.WriteJSON(w)
 }
 

@@ -224,13 +224,26 @@ func (m *DA) mergeBatch(b *sim.Batch) {
 		m.mergeBatchEager(b)
 		return
 	}
+	if !m.BuildCombined(b) {
+		m.mergeBatchEager(b)
+		return
+	}
+	m.applyCombined(b.Combined.(*knowledgeCombined))
+}
+
+// BuildCombined implements sim.CombinedBuilder; see PA.BuildCombined.
+// The accumulation reads only the merge cursors and the batch's
+// immutable tree snapshots — never the replica — so building ahead of
+// the step and applying at the step is state-for-state identical to the
+// sequential in-step build (closure propagation happens at apply time in
+// both flows).
+func (m *DA) BuildCombined(b *sim.Batch) bool {
 	kc := m.comb.get(m.tree.Size())
 	for _, mc := range b.MCs {
 		ts, ok := mc.Payload.(TreeSnapshot)
 		if !ok || ts.S.Len() != m.tree.Size() {
 			m.comb.put(kc)
-			m.mergeBatchEager(b)
-			return
+			return false
 		}
 		var dense bool
 		kc.idxs, dense = m.mg.AccumulateInto(kc.bits, mc.From, ts.S, kc.idxs)
@@ -243,7 +256,7 @@ func (m *DA) mergeBatch(b *sim.Batch) {
 		kc.dense = true
 	}
 	b.Combined, b.Builder = kc, int32(m.pid)
-	m.applyCombined(kc)
+	return true
 }
 
 func (m *DA) applyCombined(kc *knowledgeCombined) {

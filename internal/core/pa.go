@@ -272,13 +272,29 @@ func (m *PA) mergeBatch(b *sim.Batch) {
 		m.mergeBatchEager(b)
 		return
 	}
+	if !m.BuildCombined(b) {
+		m.mergeBatchEager(b)
+		return
+	}
+	m.applyCombined(b.Combined.(*knowledgeCombined))
+}
+
+// BuildCombined implements sim.CombinedBuilder: it accumulates the
+// batch's unseen knowledge (per this machine's merge cursors) into a
+// pooled combined cache, advances the cursors, and publishes the cache —
+// the build half of mergeBatch, without the apply. The parallel engine
+// calls it ahead of the machine's own step, which then consumes the
+// batch through the published cache like any later consumer; because
+// the accumulation never reads the done-set and the apply never moves
+// the cursors, the split build+apply is state-for-state identical to
+// the sequential in-step build.
+func (m *PA) BuildCombined(b *sim.Batch) bool {
 	kc := m.comb.get(m.done.Len())
 	for _, mc := range b.MCs {
 		ds, ok := mc.Payload.(DoneSet)
 		if !ok || ds.S.Len() != m.done.Len() {
 			m.comb.put(kc)
-			m.mergeBatchEager(b)
-			return
+			return false
 		}
 		var dense bool
 		kc.idxs, dense = m.mg.AccumulateInto(kc.bits, mc.From, ds.S, kc.idxs)
@@ -293,7 +309,7 @@ func (m *PA) mergeBatch(b *sim.Batch) {
 		kc.dense = true // full-width union is cheaper than the index list
 	}
 	b.Combined, b.Builder = kc, int32(m.pid)
-	m.applyCombined(kc)
+	return true
 }
 
 func (m *PA) applyCombined(kc *knowledgeCombined) {

@@ -30,19 +30,33 @@ func EstimateCellBytes(sc Scenario) int64 {
 	// DA's progress tree has at most q·jobs/(q-1) + 1 ≤ 2·jobs + 1 nodes.
 	treeWords := (2*jobs + 64) / 64
 
-	// Per-machine state, taking the larger of the PA and DA layouts:
-	// schedule permutation (PA) or digit/stack arrays (DA), the versioned
-	// set (bits + stamps, an epoch base, and up to two epochs' worth of
-	// delta segments at the rebase threshold), and struct overhead.
+	// Schedule-permutation backing, the PA-family's dominant term: PaRan1
+	// and PaDet materialize one int per (processor, job) into a single
+	// shared backing array — p·jobs·8 bytes, 32 GiB at p = 65536 — while
+	// PaRan2 draws its permutation lazily from a seeded selector and the
+	// non-permutation algorithms (DA's digit/stack walk, AllToAll's and
+	// ObliDo's flat scans) carry only polylog or per-word state already
+	// covered below. Charging the backing to every algorithm would veto
+	// affordable DA sweeps at large p; unknown algorithm strings keep the
+	// conservative charge.
+	perm := p * jobs * 8
+	switch sc.Algorithm {
+	case AlgoDA, AlgoAllToAll, AlgoObliDo, AlgoPaRan2:
+		perm = 0
+	}
+
+	// Per-machine state, taking the larger of the PA and DA layouts: the
+	// versioned set (bits + stamps, an epoch base, and up to two epochs'
+	// worth of delta segments at the rebase threshold) and struct
+	// overhead.
 	words := jobWords
 	if treeWords > words {
 		words = treeWords
 	}
-	perMachine := jobs*8 + // permutation
-		words*8*2 + // set + stamps
+	perMachine := words*8*2 + // set + stamps
 		words*8*3 + // pooled epoch bases (current + retiring)
 		words*8*4 + // delta segments up to ~2 rebase thresholds
-		512 // structs, stack, scratch
+		512 // structs, stack, scratch, digit/stack arrays
 
 	// Engine state: per-task result arrays (FirstDoneAt int64 + ledger
 	// bits), per-processor arrays (inboxes, cursors, work counters, delay
@@ -58,7 +72,7 @@ func EstimateCellBytes(sc Scenario) int64 {
 		wheelBuckets*24 +
 		inflight*96
 
-	return p*perMachine + engine
+	return perm + p*perMachine + engine
 }
 
 // EstimateSweepBytes returns a rough upper estimate of the sweep's peak

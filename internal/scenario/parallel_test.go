@@ -3,7 +3,9 @@ package scenario
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"doall/internal/sim"
 )
@@ -21,6 +23,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 		"crashing(fair, crash=1@3, crash=5@9)",
 		"restarting(fair, crash=1@3, crash=5@9, down=8)",
 		"omitting(fair, drop=2@0:40, to=0, to=3)",
+		"restarting(omitting(fair, drop=2@0:40, to=0, to=3), crash=1@3, crash=5@9, down=8)",
 	}
 	for _, algo := range algos {
 		for _, adv := range advs {
@@ -33,7 +36,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 				if !seq.Solved() {
 					t.Fatalf("sequential run did not solve")
 				}
-				for _, shards := range []int{2, 4, 7} {
+				for _, shards := range []int{2, 3, 4, 5, 7} {
 					sc := base
 					sc.Shards = shards
 					par, err := Run(sc)
@@ -100,9 +103,11 @@ func (o *traceObserver) OnMulticast(from int, now int64, payload any, n int) {
 func (o *traceObserver) OnDeliver(m sim.Message) {
 	o.add(fmt.Sprintf("dl %d>%d@%d", m.From, m.To, m.DeliverAt))
 }
-func (o *traceObserver) OnCrash(i int, now int64)            { o.add(fmt.Sprintf("crash %d@%d", i, now)) }
-func (o *traceObserver) OnRevive(i int, now int64)           { o.add(fmt.Sprintf("revive %d@%d", i, now)) }
-func (o *traceObserver) OnOmit(from, to int, now int64)      { o.add(fmt.Sprintf("omit %d>%d@%d", from, to, now)) }
+func (o *traceObserver) OnCrash(i int, now int64)  { o.add(fmt.Sprintf("crash %d@%d", i, now)) }
+func (o *traceObserver) OnRevive(i int, now int64) { o.add(fmt.Sprintf("revive %d@%d", i, now)) }
+func (o *traceObserver) OnOmit(from, to int, now int64) {
+	o.add(fmt.Sprintf("omit %d>%d@%d", from, to, now))
+}
 func (o *traceObserver) OnSolved(now int64, res *sim.Result) { o.add(fmt.Sprintf("solved@%d", now)) }
 
 // TestParallelRaceShape drives the sharded engine at a p=4096 shape so
@@ -130,6 +135,39 @@ func TestParallelRaceShape(t *testing.T) {
 	}
 }
 
+// TestSweepClosesShardWorkers pins the shard-worker lifecycle: a sharded
+// sweep parks workers-1 × shards-1 goroutines on its per-worker engines,
+// and the sweep teardown must Close them all — a fleet that leaks parked
+// goroutines accumulates them across every sweep until process exit.
+func TestSweepClosesShardWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cells := RunSweep(SweepConfig{
+		Algos:    []string{AlgoPaRan1, AlgoDA},
+		Ps:       []int{32},
+		Ts:       []int{128},
+		Ds:       []int64{2},
+		BaseSeed: 11,
+		Workers:  4,
+		Shards:   4,
+	})
+	for _, c := range cells {
+		if c.Err != "" {
+			t.Fatalf("cell %s failed: %s", c.Algo, c.Err)
+		}
+	}
+	// Parked workers exit asynchronously after their wake channels close;
+	// poll briefly before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines after sweep: %d, want ≤ %d (shard workers leaked?)", g, before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestResolveShards pins the shard-policy resolution: 0/1 sequential,
 // auto scaling with width, clamping to p.
 func TestResolveShards(t *testing.T) {
@@ -137,7 +175,7 @@ func TestResolveShards(t *testing.T) {
 		{0, 65536, 1},
 		{1, 65536, 1},
 		{4, 65536, 4},
-		{4, 3, 3},       // clamp to p
+		{4, 3, 3},             // clamp to p
 		{ShardsAuto, 1024, 1}, // too narrow to shard
 	} {
 		if got := ResolveShards(tc.req, tc.p); got != tc.want {

@@ -55,6 +55,12 @@ type SweepConfig struct {
 	// work/LowerBound overhead ratio, so BENCH files carry
 	// measured-vs-theory columns.
 	Theory bool
+	// TickPhase, when non-nil, receives the summed parallel-tick phase
+	// profile (sim.Engine.PhaseProfile) of every worker engine once the
+	// sweep returns: how the sharded cells' wall-clock split across the
+	// serial prefix (A1), the parallel shard stepping (A2), and the
+	// serial reduction tail (B). Zero for fully sequential sweeps.
+	TickPhase *sim.TickPhaseProfile
 	// Progress, when non-nil, is invoked after every completed cell with
 	// the number of cells finished so far and the grid total, driven off
 	// the sweep's atomic completion counter. It is called concurrently
@@ -204,11 +210,28 @@ func RunSweepContext(ctx context.Context, c SweepConfig) ([]Cell, error) {
 	}
 	var cursor, completed atomic.Int64
 	var wg sync.WaitGroup
+	var phaseMu sync.Mutex
+	var phase sim.TickPhaseProfile
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			eng := sim.NewEngine()
+			// Sharded cells park shard-worker goroutines on the engine;
+			// without the Close a wide sweep would strand workers-1 × shards-1
+			// goroutines until process exit.
+			defer eng.Close()
+			defer func() {
+				// Fresh engine per worker, so its lifetime profile is
+				// exactly this worker's contribution.
+				p := eng.PhaseProfile()
+				phaseMu.Lock()
+				phase.A1 += p.A1
+				phase.A2 += p.A2
+				phase.B += p.B
+				phase.Ticks += p.Ticks
+				phaseMu.Unlock()
+			}()
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(specs) || ctx.Err() != nil {
@@ -223,6 +246,9 @@ func RunSweepContext(ctx context.Context, c SweepConfig) ([]Cell, error) {
 		}()
 	}
 	wg.Wait()
+	if c.TickPhase != nil {
+		*c.TickPhase = phase
+	}
 	if err := ctx.Err(); err != nil {
 		// Stamp identity columns onto the cells that never ran so the
 		// partial report still names every grid point.
@@ -331,8 +357,23 @@ type SweepReport struct {
 	// Partial marks a report flushed after cancellation (wall-clock
 	// timeout or SIGINT): cells that never ran carry the cancellation
 	// error instead of measurements. Complete reports omit it.
-	Partial bool   `json:"partial,omitempty"`
-	Cells   []Cell `json:"cells"`
+	Partial bool `json:"partial,omitempty"`
+	// TickPhase is the summed parallel-tick phase breakdown across all
+	// worker engines (seconds per phase plus the parallel tick count).
+	// Omitted when the sweep never entered the parallel tick engine.
+	TickPhase *TickPhaseStamp `json:"tick_phase_seconds,omitempty"`
+	Cells     []Cell          `json:"cells"`
+}
+
+// TickPhaseStamp is the serialized form of sim.TickPhaseProfile: seconds
+// the sweep's engines spent in each parallel-tick phase (A1 serial
+// prefix, A2 parallel shard stepping, B serial reduction tail) and the
+// number of parallel ticks they executed.
+type TickPhaseStamp struct {
+	A1Seconds float64 `json:"a1"`
+	A2Seconds float64 `json:"a2"`
+	BSeconds  float64 `json:"b"`
+	Ticks     int64   `json:"ticks"`
 }
 
 // NewSweepReport runs the sweep and wraps it for serialization.
@@ -349,8 +390,12 @@ func NewSweepReport(c SweepConfig) SweepReport {
 // still exit non-zero.
 func NewSweepReportContext(ctx context.Context, c SweepConfig) (SweepReport, error) {
 	c = c.withDefaults()
+	var phase sim.TickPhaseProfile
+	if c.TickPhase == nil {
+		c.TickPhase = &phase
+	}
 	cells, err := RunSweepContext(ctx, c)
-	return SweepReport{
+	rep := SweepReport{
 		Engine:     "multicast-wheel-grouped",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Shards:     c.Shards,
@@ -359,7 +404,16 @@ func NewSweepReportContext(ctx context.Context, c SweepConfig) (SweepReport, err
 		Theory:     c.Theory,
 		Partial:    err != nil,
 		Cells:      cells,
-	}, err
+	}
+	if p := *c.TickPhase; p.Ticks > 0 {
+		rep.TickPhase = &TickPhaseStamp{
+			A1Seconds: p.A1.Seconds(),
+			A2Seconds: p.A2.Seconds(),
+			BSeconds:  p.B.Seconds(),
+			Ticks:     p.Ticks,
+		}
+	}
+	return rep, err
 }
 
 // WriteJSON serializes the report with stable formatting.

@@ -61,7 +61,14 @@ type simCounters struct {
 	revivals   atomic.Int64
 	omissions  atomic.Int64
 	solved     atomic.Int64
-	_          [9]int64 // pad to 128 bytes
+	// Parallel-tick phase nanoseconds and tick count, harvested as
+	// per-cell deltas of the worker engine's PhaseProfile (the profile
+	// itself is monotone over the engine's lifetime).
+	phaseA1Ns atomic.Int64
+	phaseA2Ns atomic.Int64
+	phaseBNs  atomic.Int64
+	parTicks  atomic.Int64
+	_         [5]int64 // pad to 128 bytes
 }
 
 func newMetrics(workers int) *metrics {
@@ -109,6 +116,19 @@ func (m *metrics) observer(w int) sim.Observer {
 	return &workerObserver{c: &m.sim[w%len(m.sim)]}
 }
 
+// tickPhase folds one cell's parallel-tick phase-time delta into worker
+// w's counter block.
+func (m *metrics) tickPhase(w int, d sim.TickPhaseProfile) {
+	if d.Ticks == 0 && d.Total() == 0 {
+		return
+	}
+	c := &m.sim[w%len(m.sim)]
+	c.phaseA1Ns.Add(int64(d.A1))
+	c.phaseA2Ns.Add(int64(d.A2))
+	c.phaseBNs.Add(int64(d.B))
+	c.parTicks.Add(d.Ticks)
+}
+
 type workerObserver struct {
 	sim.NopObserver
 	c *simCounters
@@ -119,24 +139,25 @@ func (o *workerObserver) OnMulticast(_ int, _ int64, _ any, recipients int) {
 	o.c.multicasts.Add(1)
 	o.c.deliveries.Add(int64(recipients))
 }
-func (o *workerObserver) OnCrash(int, int64)       { o.c.crashes.Add(1) }
-func (o *workerObserver) OnRevive(int, int64)      { o.c.revivals.Add(1) }
-func (o *workerObserver) OnOmit(int, int, int64)   { o.c.omissions.Add(1) }
+func (o *workerObserver) OnCrash(int, int64)          { o.c.crashes.Add(1) }
+func (o *workerObserver) OnRevive(int, int64)         { o.c.revivals.Add(1) }
+func (o *workerObserver) OnOmit(int, int, int64)      { o.c.omissions.Add(1) }
 func (o *workerObserver) OnSolved(int64, *sim.Result) { o.c.solved.Add(1) }
 
 // gauges is the scheduler-state snapshot the scrape takes under the
 // service lock.
 type gauges struct {
-	queueDepth int
+	queueDepth  int
 	jobsByState map[JobState]int
-	workers    int
-	draining   bool
+	workers     int
+	draining    bool
 }
 
 // write renders the exposition text. Counter names follow the
 // <namespace>_<unit>_total convention; gauges are instantaneous.
 func (m *metrics) write(w io.Writer, g gauges) {
 	var steps, multicasts, deliveries, crashes, revivals, omissions, solved int64
+	var phaseA1, phaseA2, phaseB, parTicks int64
 	for i := range m.sim {
 		c := &m.sim[i]
 		steps += c.steps.Load()
@@ -146,6 +167,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		revivals += c.revivals.Load()
 		omissions += c.omissions.Load()
 		solved += c.solved.Load()
+		phaseA1 += c.phaseA1Ns.Load()
+		phaseA2 += c.phaseA2Ns.Load()
+		phaseB += c.phaseBNs.Load()
+		parTicks += c.parTicks.Load()
 	}
 	busy := m.enginesInflight.Load()
 
@@ -181,6 +206,13 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	p("doalld_engines_inflight %d\n", busy)
 	p("# HELP doalld_shard_threads_inflight Tick-shard goroutines across busy engines (resolved intra-run shards summed; CPU occupancy under sharding).\n# TYPE doalld_shard_threads_inflight gauge\n")
 	p("doalld_shard_threads_inflight %d\n", m.shardsInflight.Load())
+
+	p("# HELP doalld_tick_phase_seconds Wall-clock seconds the fleet's parallel tick engines spent per phase: a1 = serial prefix (schedule filter, cache-build plan and fan-out, shadow seeding), a2 = parallel shard stepping, b = serial tail (staged-reduction merge plus ordered residue, or the full replay).\n# TYPE doalld_tick_phase_seconds counter\n")
+	p("doalld_tick_phase_seconds{phase=\"a1\"} %.6f\n", float64(phaseA1)/1e9)
+	p("doalld_tick_phase_seconds{phase=\"a2\"} %.6f\n", float64(phaseA2)/1e9)
+	p("doalld_tick_phase_seconds{phase=\"b\"} %.6f\n", float64(phaseB)/1e9)
+	p("# HELP doalld_tick_parallel_ticks_total Time units executed by the parallel tick engine (sequential-fallback ticks excluded).\n# TYPE doalld_tick_parallel_ticks_total counter\n")
+	p("doalld_tick_parallel_ticks_total %d\n", parTicks)
 
 	p("# HELP doalld_sim_steps_total Machine steps executed across all cells (Observer.OnStep).\n# TYPE doalld_sim_steps_total counter\n")
 	p("doalld_sim_steps_total %d\n", steps)

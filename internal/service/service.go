@@ -436,6 +436,9 @@ func (s *Service) walAppend(rec walRecord) {
 func (s *Service) worker(id int) {
 	defer s.wg.Done()
 	eng := sim.NewEngine()
+	// Sharded cells park shard-worker goroutines on the engine; without
+	// the Close a drained fleet would strand them until process exit.
+	defer eng.Close()
 	obs := s.metrics.observer(id)
 	for {
 		t, i, ok := s.nextCell()
@@ -451,7 +454,17 @@ func (s *Service) worker(id int) {
 		shards := int64(scenario.ResolveShards(spec.Shards, spec.P))
 		s.metrics.enginesInflight.Add(1)
 		s.metrics.shardsInflight.Add(shards)
+		prof := eng.PhaseProfile()
 		cell := scenario.RunCellObserved(t.ctx, eng, spec, t.trials, t.theory, obs)
+		// The engine's phase profile is monotone across runs; the cell's
+		// contribution is the delta around it.
+		after := eng.PhaseProfile()
+		s.metrics.tickPhase(id, sim.TickPhaseProfile{
+			A1:    after.A1 - prof.A1,
+			A2:    after.A2 - prof.A2,
+			B:     after.B - prof.B,
+			Ticks: after.Ticks - prof.Ticks,
+		})
 		s.metrics.shardsInflight.Add(-shards)
 		s.metrics.enginesInflight.Add(-1)
 		s.finishCell(t, i, cell)

@@ -80,6 +80,7 @@ type Engine struct {
 	batchSeq  int64
 	cursor    []int64
 	batchers  []BatchConsumer
+	cbuilders []CombinedBuilder // machines[i]'s CombinedBuilder, nil when unsupported
 	freeBatch []*Batch
 	scratch   []Delivery // materialized inbox for non-BatchConsumer machines
 
@@ -89,16 +90,38 @@ type Engine struct {
 	// wake channels; stepList/parRes/isA1 are the per-tick schedule, the
 	// captured step results, and the serially-pre-stepped (phase A1)
 	// positions.
-	shards    int
-	shard     []shardBlock
-	stepList  []int32
-	parRes    []StepResult
-	isA1      []bool
-	parDone   sync.WaitGroup
-	parNow    int64
-	parN      int
-	parNsh    int
-	launched  int // worker goroutines running (shards 1..launched)
+	shards   int
+	shard    []shardBlock
+	stepList []int32
+	parRes   []StepResult
+	isA1     []bool
+	parDone  sync.WaitGroup
+	parNow   int64
+	parN     int
+	parNsh   int
+	launched int // worker goroutines running (shards 1..launched)
+
+	// Staged phase-B state (see parallel.go). builds is the per-tick
+	// cache-construction plan (the prefix-minima builders and their batch
+	// ranges); parStaged marks ticks whose phase B runs as per-shard
+	// pre-reduced accounting plus a lean serial residue (observer-free
+	// runs only); parBuild switches the parked workers from stepping to
+	// cache building; stagedAcct suppresses the message accounting inside
+	// the broadcast paths while the residue replays them (the shards
+	// already pre-reduced it); parNb/parNbld are the tick's pending-batch
+	// and build-worker counts.
+	builds     []buildJob
+	parStaged  bool
+	parBuild   bool
+	stagedAcct bool
+	parNb      int
+	parNbld    int
+
+	// Parallel tick phase profile: accumulated wall-clock nanoseconds of
+	// phases A1/A2/B and the number of parallel ticks profiled, monotone
+	// over the engine's lifetime (PhaseProfile; not reset by Run).
+	phaseNs  [3]int64
+	parTicks int64
 }
 
 // NewEngine returns an empty engine; the first Run sizes its buffers.
@@ -208,6 +231,7 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 		e.delays = make([]int64, p)
 		e.recyclers = make([]PayloadRecycler, p)
 		e.batchers = make([]BatchConsumer, p)
+		e.cbuilders = make([]CombinedBuilder, p)
 		e.cursor = make([]int64, p)
 		e.allBut = make([]*bitset.Set, p)
 	} else {
@@ -230,6 +254,7 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 	for i, m := range machines {
 		e.recyclers[i], _ = m.(PayloadRecycler)
 		e.batchers[i], _ = m.(BatchConsumer)
+		e.cbuilders[i], _ = m.(CombinedBuilder)
 	}
 	e.cfg = cfg
 	e.machines = machines
@@ -677,6 +702,71 @@ func (e *Engine) finishStep(i int, now int64, r *StepResult, informed *bool) {
 	}
 }
 
+// finishStepResidue is finishStep's genuinely order-dependent residue,
+// used by the staged parallel phase B (observer-free ticks): multicast
+// publication into the ring/wheel (with its adversary delay queries and
+// pool traffic in schedule order), inbox release, task-ledger set-bits
+// (kept in schedule order so the Undone count each halt check reads is
+// exactly the sequential engine's mid-tick value), halting, and the
+// informed check. Everything commutative — step/work counters, message
+// and byte accounting, batch cursor advancement and consumption counts —
+// was already pre-reduced per shard during A2 (finishStepLocal) and
+// merged before this runs; e.stagedAcct keeps the shared broadcast paths
+// from double-charging it.
+func (e *Engine) finishStepResidue(i int, now int64, r *StepResult, informed *bool) {
+	inbox := e.inbox[i]
+	for _, d := range inbox {
+		e.release(d.MC)
+	}
+	e.inbox[i] = inbox[:0]
+
+	if z := r.PerformedTask(); z != NoTask {
+		if z < 0 || z >= e.cfg.T {
+			panic(fmt.Sprintf("sim: machine %d performed out-of-range task %d", i, z))
+		}
+		if e.tasks.MarkDone(z) {
+			e.res.FirstDoneAt[z] = now
+		}
+	}
+
+	if r.Broadcast != nil && e.cfg.P > 1 {
+		e.broadcast(i, now, r.Broadcast)
+	}
+
+	for _, snd := range r.Sends {
+		if snd.To < 0 || snd.To >= e.cfg.P || snd.To == i || snd.Payload == nil {
+			continue
+		}
+		delay := e.adv.Delay(i, snd.To, now)
+		if delay < 1 || delay > e.d {
+			panic(fmt.Sprintf("sim: adversary delay %d outside [1,%d]", delay, e.d))
+		}
+		if e.omitter != nil && e.omitter.Omit(i, snd.To, now) {
+			// Charged by the shard pre-reduction; the copy never flies.
+			if rc := e.recyclers[i]; rc != nil {
+				rc.RecyclePayload(snd.Payload)
+			}
+			continue
+		}
+		mc := e.getMC(i, now, snd.Payload, 1)
+		e.wheel.push(wevent{mc: mc, to: int32(snd.To)}, now+delay)
+		e.inflight++
+	}
+
+	if r.Halt {
+		if !e.halted[i] {
+			e.stopped++
+		}
+		e.halted[i] = true
+		if !e.res.Solved && !(e.tasks.Undone() == 0 && e.machines[i].KnowsAllDone()) {
+			e.res.HaltedEarly = true
+		}
+	}
+	if e.tasks.Undone() == 0 && e.machines[i].KnowsAllDone() {
+		*informed = true
+	}
+}
+
 // tick advances one global time unit (mirrors legacyState.tick step for
 // step; any observable divergence is an engine bug).
 func (e *Engine) tick(now int64) {
@@ -894,16 +984,21 @@ func (e *Engine) broadcastOmitting(i int, now int64, payload any) {
 	// after scheduling the events is safe.
 	mc.outstanding = kept
 	e.inflight += int(kept)
-	n := int64(p - 1)
-	e.res.TotalMessages += n
-	if !e.res.Solved {
-		e.res.Messages += n
-		if sz, ok := payload.(Payload); ok {
-			e.res.Bytes += int64(sz.WireSize()) * n
+	if !e.stagedAcct {
+		// Every copy is charged, omitted or not. The staged parallel tick
+		// pre-reduced this per shard during A2 (the charge is omission-
+		// independent, so shards need no adversary queries to compute it).
+		n := int64(p - 1)
+		e.res.TotalMessages += n
+		if !e.res.Solved {
+			e.res.Messages += n
+			if sz, ok := payload.(Payload); ok {
+				e.res.Bytes += int64(sz.WireSize()) * n
+			}
 		}
-	}
-	if e.obs != nil {
-		e.obs.OnMulticast(i, now, payload, p-1)
+		if e.obs != nil {
+			e.obs.OnMulticast(i, now, payload, p-1)
+		}
 	}
 	if kept == 0 {
 		// Every copy omitted: nothing is in flight, so the payload goes
@@ -917,6 +1012,11 @@ func (e *Engine) broadcastOmitting(i int, now int64, payload any) {
 // by both broadcast scheduling paths.
 func (e *Engine) finishMulticast(i int, now int64, payload any, recipients int) {
 	e.inflight += recipients
+	if e.stagedAcct {
+		// The staged parallel tick pre-reduced this accounting per shard
+		// during A2; only the in-flight count is order-dependent state.
+		return
+	}
 	n := int64(recipients)
 	e.res.TotalMessages += n
 	if !e.res.Solved {

@@ -15,7 +15,11 @@ const ledgerChunkWords = 64
 // packs task-done flags 64 per word (8× denser than the []bool it
 // replaced, which matters once t reaches the hundreds of thousands),
 // keeps the global undone count, and maintains per-chunk undone counts
-// for skip-scanning. It is not safe for concurrent use.
+// for skip-scanning. It is not safe for concurrent use in general;
+// concurrent read-only access (Done, Undone) is safe while no writer
+// runs — the parallel tick engine's A2 shards rely on this, reading
+// pre-tick done states while every MarkDone waits for the serial
+// phase B.
 type TaskLedger struct {
 	n           int
 	words       []uint64

@@ -1,5 +1,39 @@
 package sim
 
+import "time"
+
+// TickPhaseProfile is the accumulated wall-clock breakdown of the
+// parallel tick engine's three phases (see parallel.go): A1 is the
+// serial prefix (schedule filtering, the cache-build plan and its
+// fan-out, shadow seeding), A2 the parallel shard stepping, and B the
+// serial tail (staged-reduction merge plus the order-dependent residue,
+// or the full replay). Ticks counts the parallel ticks profiled;
+// sequential-fallback ticks contribute nothing. The profile is monotone
+// over an Engine's lifetime — it is NOT reset by Run — so consumers
+// (the service's workers, the phase sub-benchmarks) take deltas between
+// two PhaseProfile calls.
+type TickPhaseProfile struct {
+	A1    time.Duration
+	A2    time.Duration
+	B     time.Duration
+	Ticks int64
+}
+
+// Total returns the summed wall-clock time across the three phases.
+func (p TickPhaseProfile) Total() time.Duration { return p.A1 + p.A2 + p.B }
+
+// PhaseProfile returns the engine's accumulated parallel-tick phase
+// timings. Call it between Runs (an Engine is not safe for concurrent
+// use, and the counters are updated on the tick path).
+func (e *Engine) PhaseProfile() TickPhaseProfile {
+	return TickPhaseProfile{
+		A1:    time.Duration(e.phaseNs[0]),
+		A2:    time.Duration(e.phaseNs[1]),
+		B:     time.Duration(e.phaseNs[2]),
+		Ticks: e.parTicks,
+	}
+}
+
 // Observer is the optional hook set threaded through the multicast engine
 // (Run). Set Config.Observer to receive a callback at every observable
 // event of an execution — tracing, per-round metrics, and live dashboards
@@ -13,6 +47,12 @@ package sim
 // beyond the call; the engine reuses the underlying storage. The legacy
 // reference engine (RunLegacy) ignores observers — it exists only for
 // equivalence checking.
+//
+// An attached observer also pins the parallel tick engine (Config.Shards
+// > 1) to its full serial phase-B replay: the staged per-shard accounting
+// reductions are skipped, because per-step hook order is part of this
+// contract. Observed sharded runs therefore trade some speed for the
+// exact sequential callback sequence.
 type Observer interface {
 	// OnStep fires after machine pid executed one local step at time now.
 	// r is the step's raw result, valid only for the duration of the call.

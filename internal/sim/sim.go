@@ -331,6 +331,30 @@ type BatchConsumer interface {
 	StepBatched(now int64, batches []*Batch, tail []Delivery) StepResult
 }
 
+// CombinedBuilder is an optional BatchConsumer extension for the parallel
+// tick engine's sharded cache construction (phase A1): BuildCombined
+// builds and publishes b's combined knowledge cache (Batch.Combined /
+// Batch.Builder) from this machine's receive-cursor state — exactly the
+// cache its own StepBatched would build on first consuming b — without
+// consuming the batch. The machine's knowledge must not change; its
+// per-sender merge cursors advance exactly as the in-step build would.
+// The split is what makes cache construction parallelizable: the builds
+// read only the builder's private cursors plus the batch's immutable
+// payloads, so distinct builders can construct their (disjoint) batch
+// ranges concurrently, and the builder's own later StepBatched finds the
+// published caches and applies them — monotone unions land it on the
+// same state the combined build-and-apply would have.
+//
+// BuildCombined must return false — publishing nothing and mutating
+// nothing (aborted accumulation scratch excepted, exactly as an in-step
+// aborted build) — when the batch's payloads are not combinable by this
+// machine; the engine then leaves the batch cache-less, which every
+// consumer handles by its eager fallback.
+type CombinedBuilder interface {
+	BatchConsumer
+	BuildCombined(b *Batch) bool
+}
+
 // Decision is the adversary's scheduling choice for one time unit. The
 // engine owns one Decision and passes it to Adversary.Schedule every
 // unit with Active and Crash emptied (capacity retained) and NextWake
