@@ -35,9 +35,14 @@ func assertZeroSteadyStateAllocsCfg(t *testing.T, name string, machines []sim.Ma
 	t.Helper()
 	p := cfg.P
 	eng := sim.NewEngine()
+	// A MachineSet asserts the Resetter facets once up front; per-run
+	// m.(Resetter) assertions would leave a tiny per-run chance of the
+	// runtime populating an itab assertion cache (one heap allocation)
+	// inside the measured window — the cause of the historical flake here.
+	set := sim.NewMachineSet(machines)
 
 	run := func() *sim.Result {
-		if !sim.ResetMachines(machines) {
+		if !set.Reset() {
 			t.Fatalf("%s: machines do not support Reset", name)
 		}
 		res, err := eng.Run(cfg, machines, adv)

@@ -14,6 +14,7 @@
 //	doallctl results j000001 -o cells.ndjson
 //	doallctl cancel j000001
 //	doallctl list                          # all jobs, submission order
+//	doallctl predict -algo DA -p 1024 -t 65536 -d 8
 //	doallctl drain                         # stop the daemon's admission
 //	doallctl version                       # client and daemon versions
 //
@@ -57,6 +58,8 @@ commands:
   results  stream a job's cells as NDJSON: doallctl results <id> [-o file]
   cancel   cancel a job: doallctl cancel <id>
   list     list all jobs
+  predict  ask the daemon's analytical twin for a cost prediction:
+           doallctl predict -algo DA [-adv fair] -p 1024 -t 65536 [-d 8] [-q 2]
   drain    stop the daemon's admission (running jobs finish)
   version  print client and daemon versions
 
@@ -101,6 +104,8 @@ func run(ctx context.Context, args []string, w, errw io.Writer) error {
 		return cmdCancel(ctx, c, rest, w, errw)
 	case "list":
 		return cmdList(ctx, c, w)
+	case "predict":
+		return cmdPredict(ctx, c, rest, w, errw)
 	case "drain":
 		n, err := c.Drain(ctx)
 		if err != nil {
@@ -247,6 +252,35 @@ func cmdResults(ctx context.Context, c *doall.ServiceClient, args []string, w, e
 		return fmt.Errorf("stream interrupted (daemon shutting down); re-run after restart to resume")
 	}
 	return nil
+}
+
+func cmdPredict(ctx context.Context, c *doall.ServiceClient, args []string, w, errw io.Writer) error {
+	var q doall.TwinQuery
+	var p, t int
+	var d int64
+	fs := flag.NewFlagSet("doallctl predict", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.StringVar(&q.Algo, "algo", "", "algorithm name (e.g. DA, PaRan1)")
+	fs.StringVar(&q.Adversary, "adv", "", "adversary expression or family (default fair)")
+	fs.IntVar(&p, "p", 0, "processors")
+	fs.IntVar(&t, "t", 0, "tasks")
+	fs.Int64Var(&d, "d", 1, "message-delay bound")
+	fs.IntVar(&q.Q, "q", 0, "DA progress-tree arity (0 = default binary)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("predict: unexpected argument %q", fs.Arg(0))
+	}
+	if q.Algo == "" || p < 1 || t < 1 {
+		return fmt.Errorf("predict: -algo, -p, and -t are required")
+	}
+	q.P, q.T, q.D = p, t, d
+	res, err := c.Predict(ctx, q)
+	if err != nil {
+		return err
+	}
+	return printJSON(w, res)
 }
 
 func cmdCancel(ctx context.Context, c *doall.ServiceClient, args []string, w, errw io.Writer) error {

@@ -157,3 +157,75 @@ func TestSubmitRejectsMalformed(t *testing.T) {
 		t.Fatal("submit without -f accepted")
 	}
 }
+
+// newTwinDaemon stands up a daemon carrying a small calibrated twin
+// whose DA/fair envelope is p∈[16,64], t∈[256,1024], d∈[1,8].
+func newTwinDaemon(t *testing.T) string {
+	t.Helper()
+	var samples []doall.TwinSample
+	for _, p := range []int{16, 64} {
+		for _, tt := range []int{256, 1024} {
+			for _, d := range []int64{1, 8} {
+				samples = append(samples, doall.TwinSample{
+					Algo: "DA", Family: "fair", P: p, T: tt, D: d,
+					Work: float64(p * tt), Messages: float64(p), SolvedAt: float64(tt),
+				})
+			}
+		}
+	}
+	tw, err := doall.CalibrateTwin(samples, []string{"synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := doall.NewService(doall.ServiceConfig{Workers: 1, Twin: tw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		svc.Close()
+		ts.Close()
+	})
+	return ts.URL
+}
+
+func TestPredictCommand(t *testing.T) {
+	addr := newTwinDaemon(t)
+
+	out, err := ctl(t, addr, "predict", "-algo", "DA", "-p", "32", "-t", "512", "-d", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res doall.TwinPredictResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("predict output not JSON: %v\n%s", err, out)
+	}
+	if res.Mode != "twin" || !res.Prediction.InEnvelope || res.Prediction.Work <= 0 {
+		t.Fatalf("in-envelope predict: %+v", res)
+	}
+
+	// Out-of-envelope shapes come back mode=fallback, answered by one
+	// real bounded simulation.
+	out, err = ctl(t, addr, "predict", "-algo", "PaRan1", "-p", "4", "-t", "16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("predict output not JSON: %v\n%s", err, out)
+	}
+	if res.Mode != "fallback" || res.Prediction.Work <= 0 {
+		t.Fatalf("out-of-envelope predict: %+v", res)
+	}
+
+	// Flag validation is client-side and fast.
+	if _, err := ctl(t, addr, "predict", "-p", "16", "-t", "256"); err == nil {
+		t.Fatal("predict without -algo accepted")
+	}
+	if _, err := ctl(t, addr, "predict", "-algo", "DA", "-p", "16", "-t", "256", "stray"); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+	// Server-side rejections surface as errors.
+	if _, err := ctl(t, addr, "predict", "-algo", "NoSuchAlgo", "-p", "16", "-t", "256"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

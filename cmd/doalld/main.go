@@ -12,11 +12,13 @@
 //	doalld -checkpoint doalld.wal            # persist and resume jobs
 //	doalld -workers 8 -queue 128 -maxmem 4g  # fleet, queue, admission
 //	doalld -timeout 10m                      # default per-job budget
+//	doalld -twin TWIN_FIT.json               # serve analytical predictions
 //	doalld -version
 //
 // API: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/results (live NDJSON), DELETE /v1/jobs/{id},
-// POST /v1/drain, GET /healthz, GET /metrics, GET /v1/version.
+// POST /v1/predict, POST /v1/drain, GET /healthz, GET /metrics,
+// GET /v1/version.
 //
 // SIGINT/SIGTERM shut down gracefully: admission stops, in-flight cells
 // finish and are checkpointed, result streams end with an interrupted
@@ -65,6 +67,8 @@ func run(ctx context.Context, secondSignal context.CancelFunc, args []string, w,
 		maxmem     string
 		timeout    time.Duration
 		shards     string
+		twinPath   string
+		twinBand   float64
 		version    bool
 	)
 	fs := flag.NewFlagSet("doalld", flag.ContinueOnError)
@@ -78,6 +82,8 @@ func run(ctx context.Context, secondSignal context.CancelFunc, args []string, w,
 	fs.StringVar(&maxmem, "maxmem", "", "reject sweep jobs whose estimated memory exceeds this budget (e.g. 4g, 512m)")
 	fs.DurationVar(&timeout, "timeout", 0, "default wall-clock budget per job (0 = unlimited; jobs may declare their own)")
 	fs.StringVar(&shards, "shards", "1", "default intra-run parallel shards per cell — a count, or 'auto'; jobs may declare their own (results are identical at any value)")
+	fs.StringVar(&twinPath, "twin", "", "calibrated analytical-twin fit (TWIN_FIT.json); POST /v1/predict answers in-envelope queries from it without simulating")
+	fs.Float64Var(&twinBand, "twin-band", 0, "widest confidence-band hi/lo ratio served analytically; wider predictions fall back to simulation (0 = default 8)")
 	fs.BoolVar(&version, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +100,18 @@ func run(ctx context.Context, secondSignal context.CancelFunc, args []string, w,
 		Checkpoint:     checkpoint,
 		Fsync:          fsync,
 		DefaultTimeout: timeout,
+	}
+	if twinPath != "" {
+		data, err := os.ReadFile(twinPath)
+		if err != nil {
+			return fmt.Errorf("-twin: %w", err)
+		}
+		tw, err := doall.LoadTwin(data)
+		if err != nil {
+			return fmt.Errorf("-twin %s: %w", twinPath, err)
+		}
+		cfg.Twin = tw
+		cfg.TwinMaxBandRatio = twinBand
 	}
 	switch shards {
 	case "", "1":
@@ -132,6 +150,9 @@ func run(ctx context.Context, secondSignal context.CancelFunc, args []string, w,
 		if n := svc.ActiveJobs(); n > 0 {
 			fmt.Fprintf(w, "doalld: resumed %d unfinished job(s) from %s\n", n, checkpoint)
 		}
+	}
+	if cfg.Twin != nil {
+		fmt.Fprintf(w, "doalld: analytical twin loaded from %s (%d model groups)\n", twinPath, len(cfg.Twin.Groups))
 	}
 
 	srv := &http.Server{Handler: svc.Handler()}

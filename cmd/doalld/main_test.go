@@ -125,3 +125,70 @@ func TestDaemonServeSubmitShutdownResume(t *testing.T) {
 		cdone()
 	}
 }
+
+// TestDaemonTwinFlag boots the daemon with the checked-in TWIN_FIT.json
+// and exercises POST /v1/predict both ways: in-envelope answers come
+// from the twin, alien shapes fall back to a real simulation.
+func TestDaemonTwinFlag(t *testing.T) {
+	if err := run(context.Background(), nil, []string{"-twin", t.TempDir() + "/nope.json"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("missing -twin file accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	out := &syncWriter{pw: pw}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, nil, []string{"-listen", "127.0.0.1:0", "-workers", "1", "-twin", "../../TWIN_FIT.json"}, out, io.Discard)
+		pw.Close()
+	}()
+	var addr string
+	loaded := false
+	sc := bufio.NewScanner(pr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+		}
+		if strings.Contains(line, "analytical twin loaded") {
+			loaded = true
+			break
+		}
+	}
+	if addr == "" || !loaded {
+		t.Fatalf("no listen/twin banner (daemon err: %v)", <-errc)
+	}
+	go io.Copy(io.Discard, pr)
+
+	c := &doall.ServiceClient{Base: addr}
+	cctx, cdone := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cdone()
+
+	// A shape inside the recorded BENCH grids: answered analytically.
+	res, err := c.Predict(cctx, doall.TwinQuery{Algo: "DA", P: 64, T: 1024, D: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "twin" || !res.Prediction.InEnvelope || res.Prediction.Work <= 0 {
+		t.Fatalf("in-envelope predict: %+v", res)
+	}
+
+	// A tiny alien shape: simulated.
+	res, err = c.Predict(cctx, doall.TwinQuery{Algo: "DA", P: 4, T: 16, D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "fallback" || res.Prediction.Work <= 0 {
+		t.Fatalf("out-of-envelope predict: %+v", res)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

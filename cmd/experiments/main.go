@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -75,6 +76,7 @@ type sweepFlags struct {
 	theory  bool
 	maxmem  string
 	shards  string
+	q       int
 }
 
 // config assembles and validates the declarative sweep grid.
@@ -85,6 +87,7 @@ func (f sweepFlags) config() (doall.SweepConfig, error) {
 		Trials:    f.trials,
 		Workers:   f.workers,
 		Theory:    f.theory,
+		Q:         f.q,
 	}
 	switch f.shards {
 	case "", "1":
@@ -237,6 +240,9 @@ func runContext(ctx context.Context, args []string, w, errw io.Writer) error {
 		markdown   bool
 		only       string
 		sweep      bool
+		calibrate  bool
+		benchList  string
+		twinPath   string
 		out        string
 		progress   bool
 		timeout    time.Duration
@@ -268,6 +274,10 @@ func runContext(ctx context.Context, args []string, w, errw io.Writer) error {
 	fs.BoolVar(&f.theory, "theory", false, "sweep: add LowerBound/DAUpperBound/PAUpperBound theory columns per cell")
 	fs.StringVar(&f.maxmem, "maxmem", "", "sweep: fail fast if the estimated per-sweep memory exceeds this budget (e.g. 4g, 512m)")
 	fs.StringVar(&f.shards, "shards", "1", "sweep: intra-run parallel shards per cell — a count, or 'auto' (results are identical at any value; only ns_per_run moves)")
+	fs.IntVar(&f.q, "q", 0, "sweep: DA progress-tree arity (0 = default binary tree; the DA theory column's ε follows it)")
+	fs.StringVar(&twinPath, "twin", "", "sweep: stamp pred_work/pred_messages/pred_solved_at columns from this calibrated twin fit (in-envelope cells only)")
+	fs.BoolVar(&calibrate, "calibrate", false, "calibrate the analytical twin from recorded sweep reports (-bench) and write the fit (-out, default TWIN_FIT.json)")
+	fs.StringVar(&benchList, "bench", "BENCH_0.json,BENCH_1.json,BENCH_2.json,BENCH_3.json", "calibrate: comma-separated recorded sweep reports to fit from")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -276,10 +286,26 @@ func runContext(ctx context.Context, args []string, w, errw io.Writer) error {
 		return nil
 	}
 
+	if calibrate {
+		return runCalibrate(benchList, out, w, errw)
+	}
+
 	if sweep {
 		cfg, err := f.config()
 		if err != nil {
 			return err
+		}
+		var tw *doall.Twin
+		if twinPath != "" {
+			// Load the fit before burning grid time: a bad path or stale
+			// schema fails fast.
+			data, err := os.ReadFile(twinPath)
+			if err != nil {
+				return fmt.Errorf("-twin: %w", err)
+			}
+			if tw, err = doall.LoadTwin(data); err != nil {
+				return fmt.Errorf("-twin %s: %w", twinPath, err)
+			}
 		}
 		if timeout > 0 {
 			var cancel context.CancelFunc
@@ -306,7 +332,7 @@ func runContext(ctx context.Context, args []string, w, errw io.Writer) error {
 			}
 		}
 		return withProfiles(cpuprofile, memprofile, func() error {
-			return writeSweep(ctx, cfg, out, w, errw)
+			return writeSweep(ctx, cfg, tw, out, w, errw)
 		})
 	}
 
@@ -381,7 +407,58 @@ func withProfiles(cpuprofile, memprofile string, work func() error) error {
 	return nil
 }
 
-func writeSweep(ctx context.Context, cfg doall.SweepConfig, out string, w, errw io.Writer) error {
+// runCalibrate fits the analytical twin from recorded sweep reports and
+// writes the deterministic TWIN_FIT.json, printing per-group
+// goodness-of-fit to stderr.
+func runCalibrate(files, out string, w, errw io.Writer) error {
+	names := splitList(files, ",")
+	if len(names) == 0 {
+		return fmt.Errorf("-calibrate: no input reports (-bench)")
+	}
+	var samples []doall.TwinSample
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		var rep doall.SweepReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		ss := doall.TwinSamplesFromReport(rep)
+		if len(ss) == 0 {
+			return fmt.Errorf("%s: no usable cells to calibrate from", name)
+		}
+		samples = append(samples, ss...)
+	}
+	tw, err := doall.CalibrateTwin(samples, names)
+	if err != nil {
+		return err
+	}
+	enc, err := doall.EncodeTwin(tw)
+	if err != nil {
+		return err
+	}
+	for _, g := range tw.Groups {
+		fmt.Fprintf(errw, "calibrate: %-10s %-11s n=%-3d work R²=%.4f maxrel=%.1f%% band×=%.2f\n",
+			g.Algo, g.Family, g.Work.N, g.Work.R2, 100*g.Work.MaxRelErr, g.Work.Band)
+	}
+	if out == "" {
+		out = "TWIN_FIT.json"
+	}
+	if out == "-" {
+		_, err := w.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "calibrate: %d samples from %d reports → %s (%d model groups)\n",
+		len(samples), len(names), out, len(tw.Groups))
+	return nil
+}
+
+func writeSweep(ctx context.Context, cfg doall.SweepConfig, tw *doall.Twin, out string, w, errw io.Writer) error {
 	// Open the output before burning sweep time: a bad path must fail
 	// fast, not after a multi-minute grid.
 	if out != "" {
@@ -427,6 +504,30 @@ func writeSweep(ctx context.Context, cfg doall.SweepConfig, out string, w, errw 
 				tp.A2Seconds, 100*tp.A2Seconds/total,
 				tp.BSeconds, 100*tp.BSeconds/total)
 		}
+	}
+	if tw != nil {
+		// Stamp the twin's predicted columns next to the measured ones so
+		// the report reads as a side-by-side model-vs-simulation table.
+		// Only in-envelope predictions are stamped: outside its calibration
+		// box the twin is an extrapolation and stays silent.
+		stamped := 0
+		for i := range rep.Cells {
+			c := &rep.Cells[i]
+			if c.Err != "" {
+				continue
+			}
+			adv := c.Adversary
+			if adv == "" {
+				adv = rep.Adversary
+			}
+			pred, perr := tw.Predict(doall.TwinQuery{Algo: c.Algo, Adversary: adv, P: c.P, T: c.T, D: c.D, Q: c.Q})
+			if perr != nil || !pred.InEnvelope {
+				continue
+			}
+			c.PredWork, c.PredMessages, c.PredSolvedAt = pred.Work, pred.Messages, pred.SolvedAt
+			stamped++
+		}
+		fmt.Fprintf(errw, "sweep: twin stamped predicted columns on %d/%d cells\n", stamped, len(rep.Cells))
 	}
 	return rep.WriteJSON(w)
 }

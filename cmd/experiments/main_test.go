@@ -328,3 +328,69 @@ func TestParseBytes(t *testing.T) {
 		}
 	}
 }
+
+// TestCalibrateAndTwinStamping drives the analytical-twin loop end to
+// end through the CLI: sweep → -calibrate fit → re-sweep with -twin
+// stamping predicted columns next to the measured ones.
+func TestCalibrateAndTwinStamping(t *testing.T) {
+	dir := t.TempDir()
+	rep := filepath.Join(dir, "rep.json")
+	fit := filepath.Join(dir, "fit.json")
+	stamped := filepath.Join(dir, "stamped.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"-sweep", "-algos", "DA,PaRan1", "-p", "4,8", "-t", "16,32", "-d", "1,2", "-out", rep}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-calibrate", "-bench", rep, "-out", fit}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := doall.LoadTwin(data)
+	if err != nil {
+		t.Fatalf("calibrated fit does not load back: %v", err)
+	}
+	if len(tw.Groups) != 2 {
+		t.Fatalf("fit has %d groups, want 2 (DA/fair, PaRan1/fair)", len(tw.Groups))
+	}
+
+	// The same grid re-swept with -twin carries predicted columns, and the
+	// predictions agree with the measurements (the twin was fit on exactly
+	// these cells, so its band covers them).
+	if err := run([]string{"-sweep", "-algos", "DA,PaRan1", "-p", "4,8", "-t", "16,32", "-d", "1,2", "-twin", fit, "-out", stamped}, &out); err != nil {
+		t.Fatal(err)
+	}
+	sdata, err := os.ReadFile(stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report doall.SweepReport
+	if err := json.Unmarshal(sdata, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	for _, c := range report.Cells {
+		if c.PredWork <= 0 {
+			t.Fatalf("%s p=%d t=%d d=%d: no pred_work stamped", c.Algo, c.P, c.T, c.D)
+		}
+		if rel := (c.PredWork - c.Work) / c.Work; rel > 3 || rel < -0.75 {
+			t.Fatalf("%s p=%d t=%d d=%d: pred_work %v wildly off measured %v", c.Algo, c.P, c.T, c.D, c.PredWork, c.Work)
+		}
+	}
+
+	// A stale or corrupt fit fails fast, before any grid time burns.
+	if err := os.WriteFile(fit, []byte(`{"version":99,"groups":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", "-algos", "DA", "-p", "4", "-t", "16", "-d", "1", "-twin", fit, "-out", stamped}, &out); err == nil {
+		t.Fatal("stale fit version accepted")
+	}
+	if err := run([]string{"-calibrate", "-bench", filepath.Join(dir, "missing.json"), "-out", fit}, &out); err == nil {
+		t.Fatal("missing calibration input accepted")
+	}
+}

@@ -7,9 +7,35 @@ import (
 	"testing"
 )
 
-// bench2Eps is the DA bound exponent the sweep runner records
-// (scenario.addTheory uses ε = 0.5).
+// bench2Eps is the DA bound exponent every recorded BENCH grid was
+// annotated with: the default binary progress tree's ε. scenario.addTheory
+// now derives ε from the cell's q via EpsilonForQ, so
+// TestEpsilonForQMatchesRecordedBaselines pins that the derivation still
+// reproduces this constant for q-less cells.
 const bench2Eps = 0.5
+
+// TestEpsilonForQMatchesRecordedBaselines proves the two halves of the
+// ε-from-q contract against the recorded grids: (1) an unset q (every
+// BENCH_*.json cell predates the q knob) derives exactly the ε = 0.5 the
+// baselines were recorded with, so their DAUpperBound columns reproduce
+// bit-for-bit through the derived path; (2) a non-default q yields a
+// genuinely different bound — the old hardcoded 0.5 would have silently
+// mislabeled DA(q≠2) sweeps.
+func TestEpsilonForQMatchesRecordedBaselines(t *testing.T) {
+	if EpsilonForQ(0) != bench2Eps {
+		t.Fatalf("EpsilonForQ(0) = %v, want recorded ε %v", EpsilonForQ(0), bench2Eps)
+	}
+	p, tt, d := 1024, 65536, 8
+	viaDerived := DAUpperBound(p, tt, d, EpsilonForQ(0))
+	viaConst := DAUpperBound(p, tt, d, bench2Eps)
+	if viaDerived != viaConst {
+		t.Fatalf("derived-ε DA bound %v ≠ recorded-ε bound %v", viaDerived, viaConst)
+	}
+	if wide := DAUpperBound(p, tt, d, EpsilonForQ(8)); wide >= viaConst {
+		t.Fatalf("DA bound with q=8 (ε=%v) should drop below the q=2 bound: %v >= %v",
+			EpsilonForQ(8), wide, viaConst)
+	}
+}
 
 // bench2Cell is the subset of the BENCH_2.json cell schema the theory
 // pins need.

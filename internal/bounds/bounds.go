@@ -31,6 +31,19 @@ func DAUpperBound(p, t, d int, eps float64) float64 {
 	return float64(t)*math.Pow(float64(p), eps) + float64(p)*m*math.Pow(ceil, eps)
 }
 
+// EpsilonForQ returns the exponent ε of Theorem 5.5 for a DA(q)
+// progress-tree branching factor q: the q-ary tree's contention argument
+// yields ε = 1/log₂(2q), so the default binary tree (q = 2) gives the
+// paper's headline ε = 1/2 and wider trees trade smaller work exponents
+// for larger per-node constants. Non-positive or unset q (< 2) is
+// treated as the default q = 2, matching scenario.WithDefaults.
+func EpsilonForQ(q int) float64 {
+	if q < 2 {
+		q = 2
+	}
+	return 1 / math.Log2(2*float64(q))
+}
+
 // PAUpperBound returns the O(t·log p + p·min{t,d}·log(2+t/d)) bound of
 // Theorems 6.2/6.3 (with the log n = log min{t,p} refinement folded into
 // log p for p ≤ t).
@@ -54,9 +67,12 @@ func PAMessageBound(p, t, d int) float64 {
 func ObliviousWork(p, t int) float64 { return float64(p) * float64(t) }
 
 // Overhead returns measured/theory, the constant-factor overhead of a
-// measured work value against a bound; it returns 0 when the bound is 0.
+// measured work value against a bound. Degenerate inputs clamp to 0
+// rather than propagating: a NaN, zero, or negative bound and a negative
+// measured value all yield 0, so downstream consumers (report columns,
+// twin residual fits) can never be poisoned by an Inf/NaN ratio.
 func Overhead(measured int64, bound float64) float64 {
-	if bound == 0 {
+	if measured < 0 || math.IsNaN(bound) || bound <= 0 {
 		return 0
 	}
 	return float64(measured) / bound

@@ -94,3 +94,67 @@ func TestOverhead(t *testing.T) {
 		t.Fatal("Overhead(150,100) ≠ 1.5")
 	}
 }
+
+// TestOverheadClampsDegenerateInputs pins the clamp contract: NaN and
+// negative bounds, and negative measured work, all yield 0 instead of
+// propagating NaN/±Inf/negative ratios into report columns or twin
+// residual fits.
+func TestOverheadClampsDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		measured int64
+		bound    float64
+	}{
+		{"nan bound", 100, math.NaN()},
+		{"negative bound", 100, -5},
+		{"zero bound", 100, 0},
+		{"negative measured", -100, 50},
+		{"negative both", -100, -50},
+	}
+	for _, c := range cases {
+		if got := Overhead(c.measured, c.bound); got != 0 {
+			t.Errorf("%s: Overhead(%d, %v) = %v, want 0", c.name, c.measured, c.bound, got)
+		}
+	}
+	// +Inf bound is not clamped but divides to a clean 0.
+	if got := Overhead(100, math.Inf(1)); got != 0 {
+		t.Errorf("Overhead(100, +Inf) = %v, want 0", got)
+	}
+	// The clamp never touches legitimate ratios.
+	if got := Overhead(0, 100); got != 0 {
+		t.Errorf("Overhead(0, 100) = %v, want 0", got)
+	}
+	if got := Overhead(300, 200); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Overhead(300, 200) = %v, want 1.5", got)
+	}
+}
+
+// TestEpsilonForQ pins Theorem 5.5's exponent derivation: ε = 1/log₂(2q),
+// so the default binary progress tree reproduces the paper's headline
+// ε = 1/2 exactly (bit-for-bit — the recorded BENCH theory columns
+// depend on it) and ε decreases strictly as the tree widens.
+func TestEpsilonForQ(t *testing.T) {
+	if got := EpsilonForQ(2); got != 0.5 {
+		t.Fatalf("EpsilonForQ(2) = %v, want exactly 0.5", got)
+	}
+	// Unset and nonsensical arities fall back to the default tree.
+	for _, q := range []int{0, 1, -3} {
+		if got := EpsilonForQ(q); got != 0.5 {
+			t.Errorf("EpsilonForQ(%d) = %v, want default 0.5", q, got)
+		}
+	}
+	if got, want := EpsilonForQ(8), 0.25; math.Abs(got-want) > 1e-15 {
+		t.Errorf("EpsilonForQ(8) = %v, want %v", got, want)
+	}
+	if got, want := EpsilonForQ(32), 1.0/6; math.Abs(got-want) > 1e-15 {
+		t.Errorf("EpsilonForQ(32) = %v, want %v", got, want)
+	}
+	prev := EpsilonForQ(2)
+	for q := 3; q <= 64; q++ {
+		cur := EpsilonForQ(q)
+		if cur >= prev {
+			t.Fatalf("EpsilonForQ not strictly decreasing at q=%d: %v >= %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -19,7 +19,31 @@ type Sizer = sim.Payload
 var (
 	_ sim.Payload = TreeSnapshot{}
 	_ sim.Payload = DoneSet{}
+
+	_ sim.PayloadSizer = (*DA)(nil)
+	_ sim.PayloadSizer = (*PA)(nil)
 )
+
+// PayloadWireSize implements sim.PayloadSizer: the engine asks the
+// sending machine to size its own payload so byte accounting needs no
+// payload.(sim.Payload) assertion on the hot path — the concrete type
+// check below compiles to a type-descriptor compare with no runtime
+// itab-cache involvement (whose lazy random population would otherwise
+// be a rare steady-state allocation).
+func (m *DA) PayloadWireSize(payload any) int {
+	if s, ok := payload.(TreeSnapshot); ok {
+		return s.WireSize()
+	}
+	return 0
+}
+
+// PayloadWireSize implements sim.PayloadSizer; see DA.PayloadWireSize.
+func (m *PA) PayloadWireSize(payload any) int {
+	if s, ok := payload.(DoneSet); ok {
+		return s.WireSize()
+	}
+	return 0
+}
 
 // TreeSnapshot is the DA multicast payload: a versioned snapshot of the
 // sender's progress-tree bits. The payload *means* the sender's full tree

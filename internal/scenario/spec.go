@@ -35,6 +35,9 @@ type SweepSpec struct {
 	// 0/1 sequential, -1 (ShardsAuto) resolved per cell at run time.
 	// Results are shard-invariant; only wall-clock time changes.
 	Shards int `json:"shards,omitempty"`
+	// Q is each cell's DA progress-tree arity (0 = default binary tree);
+	// the DA theory column's ε follows it per Theorem 5.5.
+	Q int `json:"q,omitempty"`
 }
 
 // ParseSweepSpec decodes a JSON sweep document, rejecting unknown fields
@@ -64,6 +67,7 @@ func (s SweepSpec) Config() SweepConfig {
 		MaxSteps:    s.MaxSteps,
 		Theory:      s.Theory,
 		Shards:      s.Shards,
+		Q:           s.Q,
 	}
 }
 
@@ -123,6 +127,9 @@ func (s SweepSpec) Validate() error {
 	if s.Shards < ShardsAuto {
 		return fmt.Errorf("sweep: shards=%d out of range (want ≥ -1; -1 = auto)", s.Shards)
 	}
+	if s.Q != 0 && s.Q < 2 {
+		return fmt.Errorf("sweep: q=%d out of range (want 0 = default, or ≥ 2)", s.Q)
+	}
 	advs := s.Adversaries
 	if len(advs) == 0 {
 		adv := s.Adversary
@@ -131,7 +138,7 @@ func (s SweepSpec) Validate() error {
 		}
 		advs = []string{adv}
 	}
-	probe := Scenario{P: maxP, T: maxT, D: maxD, Seed: 1}
+	probe := Scenario{P: maxP, T: maxT, D: maxD, Seed: 1, Q: s.Q}
 	for _, algo := range s.Algos {
 		for _, adv := range advs {
 			probe.Algorithm, probe.Adversary = algo, adv

@@ -49,11 +49,17 @@ type SweepConfig struct {
 	// cell seeds. Intra-run shards multiply with sweep Workers — prefer
 	// Workers for wide grids and Shards for grids of few huge cells.
 	Shards int
+	// Q is each cell's DA progress-tree arity (Scenario.Q); 0 means the
+	// default binary tree. Like the adversary axis it is deliberately not
+	// folded into cell seeds, so DA(q) variants of a cell stay seed-
+	// comparable with the recorded q = 2 baselines.
+	Q int
 	// Theory adds the paper's closed-form curves to every cell:
-	// LowerBound (Theorems 3.1/3.4), DAUpperBound (Theorem 5.5, ε = 0.5 as
-	// in experiment E6), PAUpperBound (Theorems 6.2/6.3), and the
-	// work/LowerBound overhead ratio, so BENCH files carry
-	// measured-vs-theory columns.
+	// LowerBound (Theorems 3.1/3.4), DAUpperBound (Theorem 5.5 with
+	// ε derived from the cell's q via bounds.EpsilonForQ — ε = 0.5 at the
+	// default q = 2, as in experiment E6), PAUpperBound (Theorems
+	// 6.2/6.3), and the work/LowerBound overhead ratio, so BENCH files
+	// carry measured-vs-theory columns.
 	Theory bool
 	// TickPhase, when non-nil, receives the summed parallel-tick phase
 	// profile (sim.Engine.PhaseProfile) of every worker engine once the
@@ -97,8 +103,12 @@ type Cell struct {
 	P         int    `json:"p"`
 	T         int    `json:"t"`
 	D         int64  `json:"d"`
-	Seed      int64  `json:"seed"`
-	Trials    int    `json:"trials"`
+	// Q is the DA progress-tree arity the cell ran with; 0 (omitted, as
+	// in every baseline recorded before the q knob) means the default
+	// binary tree. The DAUpperBound theory column derives its ε from it.
+	Q      int   `json:"q,omitempty"`
+	Seed   int64 `json:"seed"`
+	Trials int   `json:"trials"`
 	// Work, Messages, and SolvedAt are trial averages of the paper's
 	// complexity measures (Definitions 2.1/2.2).
 	Work     float64 `json:"work"`
@@ -120,6 +130,13 @@ type Cell struct {
 	DAUpperBound float64 `json:"da_upper_bound,omitempty"`
 	PAUpperBound float64 `json:"pa_upper_bound,omitempty"`
 	WorkOverLB   float64 `json:"work_over_lb,omitempty"`
+	// Predicted columns (present when the caller stamps an analytical
+	// twin's estimates next to the measured values, e.g. cmd/experiments
+	// -twin): the twin's point predictions for the cell's shape. Absent
+	// when no twin was supplied or the shape is outside its envelope.
+	PredWork     float64 `json:"pred_work,omitempty"`
+	PredMessages float64 `json:"pred_messages,omitempty"`
+	PredSolvedAt float64 `json:"pred_solved_at,omitempty"`
 	// Err is non-empty when the cell failed (e.g. step cap exceeded).
 	Err string `json:"err,omitempty"`
 }
@@ -164,6 +181,7 @@ func (c SweepConfig) Specs() []Scenario {
 							P:         p,
 							T:         t,
 							D:         d,
+							Q:         c.Q,
 							Seed:      CellSeed(c.BaseSeed, algo, p, t, d),
 							MaxSteps:  c.MaxSteps,
 							Shards:    c.Shards,
@@ -290,7 +308,9 @@ func RunCellObserved(ctx context.Context, eng *sim.Engine, sc Scenario, trials i
 	}
 	cell := Cell{
 		Algo: sc.Algorithm, Adversary: sc.Adversary,
-		P: sc.P, T: sc.T, D: sc.D, Seed: sc.Seed, Trials: trials,
+		// Q is stamped raw (not defaulted to 2) so cells from q-less
+		// configs serialize exactly as the recorded baselines do.
+		P: sc.P, T: sc.T, D: sc.D, Q: sc.Q, Seed: sc.Seed, Trials: trials,
 		Shards: ResolveShards(sc.Shards, sc.P),
 	}
 	start := time.Now()
@@ -324,11 +344,14 @@ func RunCellObserved(ctx context.Context, eng *sim.Engine, sc Scenario, trials i
 	return cell
 }
 
-// addTheory fills a cell's closed-form theory columns.
+// addTheory fills a cell's closed-form theory columns. The DA bound's ε
+// follows the cell's progress-tree arity per Theorem 5.5 (EpsilonForQ);
+// an unset q yields the default binary tree's ε = 0.5, which is what
+// every recorded BENCH_*.json theory column was computed with.
 func addTheory(c *Cell) {
 	p, t, d := c.P, c.T, int(c.D)
 	c.LowerBound = bounds.LowerBound(p, t, d)
-	c.DAUpperBound = bounds.DAUpperBound(p, t, d, 0.5)
+	c.DAUpperBound = bounds.DAUpperBound(p, t, d, bounds.EpsilonForQ(c.Q))
 	c.PAUpperBound = bounds.PAUpperBound(p, t, d)
 	if c.Err == "" {
 		c.WorkOverLB = bounds.Overhead(int64(c.Work), c.LowerBound)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"doall/internal/bounds"
 	"doall/internal/sim"
 )
 
@@ -48,6 +49,49 @@ func TestSweepAdversaryGrid(t *testing.T) {
 	rep := NewSweepReport(cfg)
 	if rep.Adversary != "fair;crashing;slow-set(period=2)" {
 		t.Errorf("report adversary = %q", rep.Adversary)
+	}
+}
+
+// TestSweepTheoryEpsilonFollowsQ pins the ε-from-q wiring end to end: a
+// q-less sweep stamps Q=0 (so recorded baselines re-serialize
+// byte-identically) and computes the DA theory column with the default
+// ε = 0.5, while a q=8 sweep of the same grid point stamps Q and uses
+// EpsilonForQ(8) — the bug this replaces hardcoded 0.5 for every q.
+func TestSweepTheoryEpsilonFollowsQ(t *testing.T) {
+	base := SweepConfig{
+		Algos: []string{AlgoDA}, Ps: []int{8}, Ts: []int{32}, Ds: []int64{2},
+		BaseSeed: 5, Theory: true,
+	}
+	def := RunSweep(base)[0]
+	if def.Err != "" {
+		t.Fatalf("default cell failed: %s", def.Err)
+	}
+	if def.Q != 0 {
+		t.Fatalf("q-less sweep stamped Q=%d, want 0 (baseline schema compat)", def.Q)
+	}
+	if want := bounds.DAUpperBound(8, 32, 2, 0.5); def.DAUpperBound != want {
+		t.Fatalf("default DA theory column %v, want ε=0.5 value %v", def.DAUpperBound, want)
+	}
+
+	wide := base
+	wide.Q = 8
+	w := RunSweep(wide)[0]
+	if w.Err != "" {
+		t.Fatalf("q=8 cell failed: %s", w.Err)
+	}
+	if w.Q != 8 {
+		t.Fatalf("q=8 sweep stamped Q=%d", w.Q)
+	}
+	if want := bounds.DAUpperBound(8, 32, 2, bounds.EpsilonForQ(8)); w.DAUpperBound != want {
+		t.Fatalf("q=8 DA theory column %v, want EpsilonForQ-derived %v", w.DAUpperBound, want)
+	}
+	if w.DAUpperBound == def.DAUpperBound {
+		t.Fatal("q=8 and q=2 DA theory columns should differ")
+	}
+	// The q knob must reach the machines, not only the theory column: a
+	// wider progress tree changes DA's execution.
+	if w.Work == def.Work && w.Messages == def.Messages && w.SolvedAt == def.SolvedAt {
+		t.Fatal("q=8 cell measured identically to q=2 cell; Q not threaded to machines")
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"doall/internal/twin"
 )
 
 // Client is the thin HTTP client half of the service plane — what
@@ -149,6 +151,49 @@ func (c *Client) Drain(ctx context.Context) (int, error) {
 	}
 	err = json.NewDecoder(resp.Body).Decode(&out)
 	return out.ActiveJobs, err
+}
+
+// Predict asks the daemon for one twin prediction. The result's Mode
+// says whether it came from the analytical twin or a fallback
+// simulation.
+func (c *Client) Predict(ctx context.Context, q twin.Query) (PredictResult, error) {
+	doc, err := json.Marshal(q)
+	if err != nil {
+		return PredictResult{}, err
+	}
+	var res PredictResult
+	err = c.postJSON(ctx, "/v1/predict", doc, &res)
+	return res, err
+}
+
+// PredictBatch answers several queries in one round trip.
+func (c *Client) PredictBatch(ctx context.Context, qs []twin.Query) ([]PredictResult, error) {
+	doc, err := json.Marshal(map[string]any{"queries": qs})
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []PredictResult `json:"results"`
+	}
+	err = c.postJSON(ctx, "/v1/predict", doc, &out)
+	return out.Results, err
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, doc []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Version fetches the daemon's build version string.

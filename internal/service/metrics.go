@@ -33,6 +33,11 @@ type metrics struct {
 	// the fleet's true CPU occupancy once intra-run parallelism is on.
 	// Equals enginesInflight while every cell runs sequentially.
 	shardsInflight atomic.Int64
+	// twinPredicts/twinFallbacks split POST /v1/predict answers by how
+	// they were produced: analytical twin evaluation vs one real bounded
+	// simulation.
+	twinPredicts  atomic.Int64
+	twinFallbacks atomic.Int64
 
 	// buckets is a ring of per-second cell-completion counts behind the
 	// doalld_cells_per_second gauge (rate over the trailing window).
@@ -199,6 +204,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	p("doalld_cells_failed_total %d\n", m.cellsFailed.Load())
 	p("# HELP doalld_cells_per_second Cell completion rate over the trailing %ds.\n# TYPE doalld_cells_per_second gauge\n", rateWindow)
 	p("doalld_cells_per_second %.2f\n", m.rate())
+
+	p("# HELP doalld_twin_predictions_total Predict queries answered, by mode: twin = analytical model evaluation, fallback = one real bounded simulation (no twin, unknown model, out of envelope, or band too wide).\n# TYPE doalld_twin_predictions_total counter\n")
+	p("doalld_twin_predictions_total{mode=\"twin\"} %d\n", m.twinPredicts.Load())
+	p("doalld_twin_predictions_total{mode=\"fallback\"} %d\n", m.twinFallbacks.Load())
 
 	p("# HELP doalld_engine_pool_size Reusable simulation engines in the worker fleet.\n# TYPE doalld_engine_pool_size gauge\n")
 	p("doalld_engine_pool_size %d\n", g.workers)

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"doall/internal/twin"
+)
+
+// testTwin calibrates a tiny synthetic twin whose DA/fair envelope is
+// p∈[16,64], t∈[256,1024], d∈[1,8], q=2, with near-exact log-linear
+// measures so in-envelope bands are far below any fallback threshold.
+func testTwin(t *testing.T) *twin.Twin {
+	t.Helper()
+	var samples []twin.Sample
+	for _, p := range []int{16, 64} {
+		for _, tt := range []int{256, 1024} {
+			for _, d := range []int64{1, 8} {
+				samples = append(samples, twin.Sample{
+					Algo: "DA", Family: "fair", P: p, T: tt, D: d,
+					Work:     float64(p * tt),
+					Messages: float64(p),
+					SolvedAt: float64(tt),
+				})
+			}
+		}
+	}
+	tw, err := twin.Calibrate(samples, []string{"synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tw
+}
+
+func newPredictService(t *testing.T, tw *twin.Twin) (*Service, *Client) {
+	t.Helper()
+	svc, err := New(Config{Workers: 1, Twin: tw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, &Client{Base: srv.URL}
+}
+
+// TestPredictInEnvelopeRunsNoSimulation pins the tentpole contract: an
+// in-envelope query is answered purely from the twin — the predict
+// plane's simulation counter must not move.
+func TestPredictInEnvelopeRunsNoSimulation(t *testing.T) {
+	svc, c := newPredictService(t, testTwin(t))
+	before := svc.PredictSimRuns()
+	res, err := c.Predict(context.Background(), twin.Query{Algo: "DA", P: 32, T: 512, D: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "twin" {
+		t.Fatalf("mode = %q, want twin", res.Mode)
+	}
+	if !res.Prediction.InEnvelope {
+		t.Fatal("prediction not marked in-envelope")
+	}
+	if res.Prediction.Work <= 0 || res.Prediction.WorkLo > res.Prediction.Work || res.Prediction.WorkHi < res.Prediction.Work {
+		t.Fatalf("implausible work band: %v [%v, %v]", res.Prediction.Work, res.Prediction.WorkLo, res.Prediction.WorkHi)
+	}
+	if got := svc.PredictSimRuns(); got != before {
+		t.Fatalf("in-envelope predict ran %d simulation(s)", got-before)
+	}
+	if !metricsContain(t, c, `doalld_twin_predictions_total{mode="twin"} 1`) {
+		t.Fatal("twin-mode counter did not increment")
+	}
+}
+
+// TestPredictOutOfEnvelopeFallsBack pins the other half: outside the
+// calibrated box the daemon answers with one real bounded simulation,
+// marks the response mode=fallback, and increments the fallback counter.
+func TestPredictOutOfEnvelopeFallsBack(t *testing.T) {
+	svc, c := newPredictService(t, testTwin(t))
+	res, err := c.Predict(context.Background(), twin.Query{Algo: "DA", P: 4, T: 16, D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "fallback" {
+		t.Fatalf("mode = %q, want fallback", res.Mode)
+	}
+	if svc.PredictSimRuns() != 1 {
+		t.Fatalf("fallback ran %d simulations, want 1", svc.PredictSimRuns())
+	}
+	// A measured answer is exact: collapsed band, ratio 1.
+	p := res.Prediction
+	if p.Work <= 0 || p.WorkLo != p.Work || p.WorkHi != p.Work || p.BandRatio != 1 {
+		t.Fatalf("fallback prediction not collapsed: %+v", p)
+	}
+	if p.InEnvelope {
+		t.Fatal("fallback prediction claims in-envelope")
+	}
+	if !metricsContain(t, c, `doalld_twin_predictions_total{mode="fallback"} 1`) {
+		t.Fatal("fallback counter did not increment")
+	}
+}
+
+// TestPredictWithoutTwinStillServes: a daemon started without -twin
+// serves every predict query by simulation.
+func TestPredictWithoutTwinStillServes(t *testing.T) {
+	svc, c := newPredictService(t, nil)
+	res, err := c.Predict(context.Background(), twin.Query{Algo: "PaRan1", P: 8, T: 64, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "fallback" || svc.PredictSimRuns() != 1 {
+		t.Fatalf("twin-less daemon: mode=%q sims=%d, want fallback/1", res.Mode, svc.PredictSimRuns())
+	}
+}
+
+// TestPredictBatch answers several queries in one request, splitting
+// modes per query.
+func TestPredictBatch(t *testing.T) {
+	svc, c := newPredictService(t, testTwin(t))
+	results, err := c.PredictBatch(context.Background(), []twin.Query{
+		{Algo: "DA", P: 16, T: 256, D: 1},
+		{Algo: "DA", P: 64, T: 1024, D: 8},
+		{Algo: "DA", P: 4, T: 16, D: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	if results[0].Mode != "twin" || results[1].Mode != "twin" {
+		t.Fatalf("in-envelope batch entries: modes %q/%q, want twin/twin", results[0].Mode, results[1].Mode)
+	}
+	if results[2].Mode != "fallback" {
+		t.Fatalf("out-of-envelope batch entry: mode %q, want fallback", results[2].Mode)
+	}
+	if svc.PredictSimRuns() != 1 {
+		t.Fatalf("batch ran %d simulations, want 1 (the out-of-envelope entry)", svc.PredictSimRuns())
+	}
+}
+
+// TestPredictHTTPErrors pins the endpoint's failure matrix.
+func TestPredictHTTPErrors(t *testing.T) {
+	svc, c := newPredictService(t, testTwin(t))
+	post := func(body string) int {
+		t.Helper()
+		resp, err := c.http().Post(c.url("/v1/predict"), "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{"algo": `, 400},
+		{"unknown field", `{"algo":"DA","p":16,"t":256,"d":1,"bogus":1}`, 400},
+		{"missing algo", `{"p":16,"t":256,"d":1}`, 400},
+		{"unknown algorithm", `{"algo":"NoSuchAlgo","p":16,"t":256,"d":1}`, 400},
+		{"degenerate shape", `{"algo":"DA","p":0,"t":256,"d":1}`, 400},
+		{"empty batch", `{"queries":[]}`, 400},
+		{"bad batch entry", `{"queries":[{"algo":"NoSuchAlgo","p":4,"t":16,"d":1}]}`, 400},
+	}
+	for _, tc := range cases {
+		if got := post(tc.body); got != tc.want {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Wrong method.
+	resp, err := c.http().Get(c.url("/v1/predict"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET /v1/predict: HTTP %d, want 405", resp.StatusCode)
+	}
+	// None of the failures may have touched the predict engine.
+	if svc.PredictSimRuns() != 0 {
+		t.Fatalf("error matrix ran %d simulations, want 0", svc.PredictSimRuns())
+	}
+}
+
+// metricsContain scrapes GET /metrics and reports whether a line is
+// present.
+func metricsContain(t *testing.T, c *Client, line string) bool {
+	t.Helper()
+	resp, err := c.http().Get(c.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Contains(string(body), line)
+}

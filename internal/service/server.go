@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"doall/internal/scenario"
 	"doall/internal/service/buildinfo"
+	"doall/internal/twin"
 )
 
 // The daemon's HTTP JSON API. Routing is manual prefix matching (the
@@ -20,6 +22,7 @@ import (
 //	GET  /metrics              Prometheus text exposition
 //	GET  /v1/version           daemon build info
 //	POST /v1/drain             stop admission, keep executing
+//	POST /v1/predict           twin prediction (single query or {"queries": [...]})
 //	POST /v1/jobs              submit a job document (see ParseJob)
 //	GET  /v1/jobs              list all jobs
 //	GET  /v1/jobs/{id}         one job's status
@@ -56,6 +59,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/v1/drain", s.handleDrain)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	return mux
@@ -145,6 +149,66 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, s.gaugesSnapshot())
+}
+
+// maxPredictBytes bounds a predict request body.
+const maxPredictBytes = 1 << 20
+
+// handlePredict serves POST /v1/predict. The body is either one
+// twin.Query object or a {"queries": [...]} batch; the response is one
+// PredictResult or {"results": [...]} correspondingly. Malformed bodies
+// and unanswerable queries are 400s.
+func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, "POST")
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxPredictBytes+1))
+	if err != nil {
+		httpError(w, fmt.Errorf("service: read body: %w", err))
+		return
+	}
+	if len(data) > maxPredictBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "predict document too large"})
+		return
+	}
+	var req struct {
+		twin.Query
+		Queries []twin.Query `json:"queries"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("service: predict: parse: %w", err))
+		return
+	}
+	if req.Queries == nil {
+		if req.Algo == "" {
+			httpError(w, fmt.Errorf("service: predict: missing algo"))
+			return
+		}
+		res, err := s.Predict(r.Context(), req.Query)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, fmt.Errorf("service: predict: empty queries batch"))
+		return
+	}
+	results := make([]PredictResult, 0, len(req.Queries))
+	for _, q := range req.Queries {
+		res, err := s.Predict(r.Context(), q)
+		if err != nil {
+			httpError(w, fmt.Errorf("service: predict: query %d (%s): %w", len(results), q.Algo, err))
+			return
+		}
+		results = append(results, res)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {

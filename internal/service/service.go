@@ -21,10 +21,12 @@ import (
 	"log"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"doall/internal/scenario"
 	"doall/internal/sim"
+	"doall/internal/twin"
 )
 
 // Sentinel errors, mapped onto HTTP status codes by the server layer.
@@ -78,6 +80,15 @@ type Config struct {
 	// Workers × Shards against the machine, not each knob alone. Results
 	// are shard-invariant; only throughput changes.
 	Shards int
+	// Twin is the calibrated analytical twin behind POST /v1/predict:
+	// in-envelope queries are answered from its models without touching
+	// an engine. nil means every predict query falls back to one real
+	// bounded simulation.
+	Twin *twin.Twin
+	// TwinMaxBandRatio caps the confidence-band Hi/Lo ratio the daemon
+	// will serve analytically; wider predictions fall back to simulation.
+	// 0 means the default (8).
+	TwinMaxBandRatio float64
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +153,13 @@ type Service struct {
 	closing  bool
 	closedCh chan struct{}
 	wg       sync.WaitGroup
+
+	// The predict plane's dedicated fallback engine, created lazily on
+	// the first out-of-envelope query and serialized by its own mutex so
+	// predict traffic never contends with the worker fleet.
+	predictMu   sync.Mutex
+	predictEng  *sim.Engine
+	predictSims atomic.Int64
 }
 
 // New builds a Service: replays the checkpoint log (if any), reopens it
@@ -390,6 +408,15 @@ func (s *Service) Close() error {
 	s.mu.Unlock()
 
 	s.wg.Wait()
+
+	// In-flight predict fallbacks hold predictMu; waiting for it here
+	// lets them finish before their engine's shard workers are released.
+	s.predictMu.Lock()
+	if s.predictEng != nil {
+		s.predictEng.Close()
+		s.predictEng = nil
+	}
+	s.predictMu.Unlock()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

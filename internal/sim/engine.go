@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 
 	"doall/internal/bitset"
@@ -47,20 +48,40 @@ type Engine struct {
 	batched  MulticastDelayer // adv, when it supports batched delays
 	uniform  UniformDelayer   // adv, when its delays are recipient-independent
 	omitter  Omitter          // adv, when it may omit deliveries
-	d        int64            // adv.D(), cached
-	wheel    *wheel
-	inbox    [][]Delivery
-	crashed  []bool
-	halted   []bool
-	stopped  int // processors crashed or halted
-	tasks    *TaskLedger
-	inflight int // undelivered point-to-point messages
-	res      Result
-	view     View     // reused across ticks; only Now/InFlight change
-	dec      Decision // reused across ticks; adversaries append into it
-	delays   []int64  // scratch for per-recipient delays, length P
+	// advSrc is the adversary the cached facets above (and inboxAg below)
+	// were derived from, so repeat runs with the same adversary skip the
+	// interface assertions entirely. This is a zero-allocation contract,
+	// not just a shortcut: the runtime populates each assertion site's
+	// itab cache lazily and randomly (~1/1024 of misses allocate a new
+	// cache), so asserting adv.(Omitter) once per run keeps a small
+	// per-run chance of one stray steady-state allocation alive for
+	// ~1000 runs. Only comparable adversaries are recorded (advSrc stays
+	// nil otherwise), which keeps the == test panic-free.
+	advSrc    Adversary
+	inboxAg   InboxAgnostic // adv, when it can declare inbox-agnosticism
+	inboxAgOK bool
+	d         int64 // adv.D(), cached
+	wheel     *wheel
+	inbox     [][]Delivery
+	crashed   []bool
+	halted    []bool
+	stopped   int // processors crashed or halted
+	tasks     *TaskLedger
+	inflight  int // undelivered point-to-point messages
+	res       Result
+	view      View     // reused across ticks; only Now/InFlight change
+	dec       Decision // reused across ticks; adversaries append into it
+	delays    []int64  // scratch for per-recipient delays, length P
 	// recyclers[i] is machines[i]'s PayloadRecycler, nil when unsupported.
 	recyclers []PayloadRecycler
+	// sizers[i] is machines[i]'s PayloadSizer, nil when unsupported.
+	sizers []PayloadSizer
+	// facetSrc[i] is the machine whose optional facets are cached in
+	// recyclers/batchers/cbuilders[i]; an engine-owned copy (not an alias
+	// of the caller's slice) so in-place element swaps are detected. Same
+	// zero-allocation rationale as advSrc; non-comparable machines are
+	// never recorded.
+	facetSrc []Machine
 	// freeMC pools Multicast records across broadcasts and runs; a record
 	// returns here once its last outstanding delivery is consumed.
 	freeMC   []*Multicast
@@ -230,6 +251,8 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 		e.halted = make([]bool, p)
 		e.delays = make([]int64, p)
 		e.recyclers = make([]PayloadRecycler, p)
+		e.sizers = make([]PayloadSizer, p)
+		e.facetSrc = make([]Machine, p)
 		e.batchers = make([]BatchConsumer, p)
 		e.cbuilders = make([]CombinedBuilder, p)
 		e.cursor = make([]int64, p)
@@ -252,25 +275,41 @@ func (e *Engine) reset(cfg Config, machines []Machine, adv Adversary) {
 		e.tasks.Reset(t)
 	}
 	for i, m := range machines {
+		if e.facetSrc[i] == m {
+			continue // facets cached from a previous run with this machine
+		}
 		e.recyclers[i], _ = m.(PayloadRecycler)
+		e.sizers[i], _ = m.(PayloadSizer)
 		e.batchers[i], _ = m.(BatchConsumer)
 		e.cbuilders[i], _ = m.(CombinedBuilder)
+		if reflect.TypeOf(m).Comparable() {
+			e.facetSrc[i] = m
+		} else {
+			e.facetSrc[i] = nil
+		}
 	}
 	e.cfg = cfg
 	e.machines = machines
 	e.adv = adv
 	e.obs = cfg.Observer
-	e.batched, _ = adv.(MulticastDelayer)
-	e.uniform, _ = adv.(UniformDelayer)
-	e.omitter, _ = adv.(Omitter)
+	if e.advSrc != adv {
+		e.batched, _ = adv.(MulticastDelayer)
+		e.uniform, _ = adv.(UniformDelayer)
+		e.omitter, _ = adv.(Omitter)
+		e.inboxAg, e.inboxAgOK = adv.(InboxAgnostic)
+		if reflect.TypeOf(adv).Comparable() {
+			e.advSrc = adv
+		} else {
+			e.advSrc = nil
+		}
+	}
 	e.d = adv.D()
 	if e.wheel == nil || len(e.wheel.buckets) != wheelBuckets(e.d) {
 		e.wheel = newWheel(e.d)
 	} else {
 		e.wheel.reset()
 	}
-	ia, ok := adv.(InboxAgnostic)
-	e.grouped = p > 1 && cfg.Observer == nil && ok && ia.InboxAgnostic()
+	e.grouped = p > 1 && cfg.Observer == nil && e.inboxAgOK && e.inboxAg.InboxAgnostic()
 	e.shards = 1
 	if cfg.Shards > 1 && p > 1 {
 		s := cfg.Shards
@@ -660,9 +699,7 @@ func (e *Engine) finishStep(i int, now int64, r *StepResult, informed *bool) {
 			e.res.TotalMessages++
 			if !e.res.Solved {
 				e.res.Messages++
-				if sz, ok := snd.Payload.(Payload); ok {
-					e.res.Bytes += int64(sz.WireSize())
-				}
+				e.res.Bytes += e.wireSize(i, snd.Payload)
 			}
 			if e.obs != nil {
 				e.obs.OnOmit(i, snd.To, now)
@@ -679,9 +716,7 @@ func (e *Engine) finishStep(i int, now int64, r *StepResult, informed *bool) {
 		e.res.TotalMessages++
 		if !e.res.Solved {
 			e.res.Messages++
-			if sz, ok := snd.Payload.(Payload); ok {
-				e.res.Bytes += int64(sz.WireSize())
-			}
+			e.res.Bytes += e.wireSize(i, snd.Payload)
 		}
 		if e.obs != nil {
 			e.obs.OnMulticast(i, now, snd.Payload, 1)
@@ -992,9 +1027,7 @@ func (e *Engine) broadcastOmitting(i int, now int64, payload any) {
 		e.res.TotalMessages += n
 		if !e.res.Solved {
 			e.res.Messages += n
-			if sz, ok := payload.(Payload); ok {
-				e.res.Bytes += int64(sz.WireSize()) * n
-			}
+			e.res.Bytes += e.wireSize(i, payload) * n
 		}
 		if e.obs != nil {
 			e.obs.OnMulticast(i, now, payload, p-1)
@@ -1021,11 +1054,27 @@ func (e *Engine) finishMulticast(i int, now int64, payload any, recipients int) 
 	e.res.TotalMessages += n
 	if !e.res.Solved {
 		e.res.Messages += n
-		if sz, ok := payload.(Payload); ok {
-			e.res.Bytes += int64(sz.WireSize()) * n
-		}
+		e.res.Bytes += e.wireSize(i, payload) * n
 	}
 	if e.obs != nil {
 		e.obs.OnMulticast(i, now, payload, recipients)
 	}
+}
+
+// wireSize returns payload's wire size for byte accounting, preferring
+// sender i's PayloadSizer facet (a direct method call over concrete type
+// checks) and falling back to the payload.(Payload) assertion for
+// machines without one. The facet path matters for the zero-allocation
+// gates: the fallback assertion's runtime site cache is populated
+// lazily at random (~1/1024 of misses allocate the new cache), so a per-
+// message assertion keeps a small chance of one stray steady-state heap
+// allocation alive for on the order of a thousand messages.
+func (e *Engine) wireSize(i int, payload any) int64 {
+	if s := e.sizers[i]; s != nil {
+		return int64(s.PayloadWireSize(payload))
+	}
+	if sz, ok := payload.(Payload); ok {
+		return int64(sz.WireSize())
+	}
+	return 0
 }

@@ -266,18 +266,14 @@ func (e *Engine) finishStepLocal(i int, now int64, r *StepResult, sb *shardBlock
 	if r.Broadcast != nil && e.cfg.P > 1 {
 		n := int64(e.cfg.P - 1)
 		sb.msgs += n
-		if sz, ok := r.Broadcast.(Payload); ok {
-			sb.bytes += int64(sz.WireSize()) * n
-		}
+		sb.bytes += e.wireSize(i, r.Broadcast) * n
 	}
 	for _, snd := range r.Sends {
 		if snd.To < 0 || snd.To >= e.cfg.P || snd.To == i || snd.Payload == nil {
 			continue
 		}
 		sb.msgs++
-		if sz, ok := snd.Payload.(Payload); ok {
-			sb.bytes += int64(sz.WireSize())
-		}
+		sb.bytes += e.wireSize(i, snd.Payload)
 	}
 }
 

@@ -245,6 +245,18 @@ type PayloadRecycler interface {
 	RecyclePayload(payload any)
 }
 
+// PayloadSizer is an optional Machine extension for allocation-free byte
+// accounting: it returns the wire size of one of this machine's own
+// payload values (0 for values it does not recognize). The engine
+// prefers a sender's PayloadSizer over asserting payload.(Payload)
+// because implementations check concrete payload types — a direct
+// type-descriptor compare — whereas the interface assertion goes through
+// the runtime's lazily, randomly populated per-site itab cache, whose
+// population is itself a rare steady-state heap allocation.
+type PayloadSizer interface {
+	PayloadWireSize(payload any) int
+}
+
 // View is the adversary's omniscient picture of the system at the start of
 // a time unit.
 type View struct {
@@ -575,6 +587,52 @@ func ResetMachines(machines []Machine) bool {
 		}
 	}
 	return ok
+}
+
+// MachineSet pairs a machine slice with its Resetter facets, asserted
+// once at construction, so steady-state trial loops can reset machines
+// with plain interface method calls. The distinction matters for the
+// zero-allocation contract: the runtime populates each m.(Resetter)
+// assertion site's itab cache lazily and randomly (~1/1024 of cache
+// misses allocate a new site cache), so a loop that calls ResetMachines
+// every trial keeps a small per-trial chance of one stray heap
+// allocation alive for on the order of a thousand trials — the root
+// cause of the intermittent 1 alloc/op in the steady-state gates. A
+// MachineSet front-loads the assertions into construction and its Reset
+// performs none.
+type MachineSet struct {
+	machines  []Machine
+	resetters []Resetter // resetters[i] is machines[i]'s Resetter, nil when unsupported
+	all       bool       // every machine supports Reset
+}
+
+// NewMachineSet captures the machines (the slice is aliased, not copied)
+// and asserts their Resetter facets once.
+func NewMachineSet(machines []Machine) *MachineSet {
+	s := &MachineSet{machines: machines, resetters: make([]Resetter, len(machines)), all: true}
+	for i, m := range machines {
+		r, can := m.(Resetter)
+		if !can {
+			s.all = false
+		}
+		s.resetters[i] = r
+	}
+	return s
+}
+
+// Machines returns the captured machine slice, for handing to Engine.Run.
+func (s *MachineSet) Machines() []Machine { return s.machines }
+
+// Reset restores every Resetter machine to its initial state, reporting
+// whether all machines supported it — identical semantics to
+// ResetMachines, minus the per-call interface assertions.
+func (s *MachineSet) Reset() bool {
+	for _, r := range s.resetters {
+		if r != nil {
+			r.Reset()
+		}
+	}
+	return s.all
 }
 
 // CloneMachines deep-copies a machine set via the Cloner extension,

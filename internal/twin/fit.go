@@ -1,0 +1,105 @@
+package twin
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"doall/internal/scenario"
+)
+
+// Encode serializes the twin as deterministic, indented JSON — the
+// TWIN_FIT.json on-disk form. Calibrate sorts groups and canonicalizes
+// sample order, so identical calibration inputs re-encode to identical
+// bytes; CI leans on that to diff a re-derived fit against the
+// checked-in one.
+func (tw *Twin) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tw); err != nil {
+		return nil, fmt.Errorf("twin: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Load parses a serialized twin and validates its shape: schema version,
+// per-model coefficient arity, and sane envelopes. A fit file from a
+// different schema version fails loudly instead of mispredicting.
+func Load(data []byte) (*Twin, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var tw Twin
+	if err := dec.Decode(&tw); err != nil {
+		return nil, fmt.Errorf("twin: parse: %w", err)
+	}
+	if tw.Version != FitVersion {
+		return nil, fmt.Errorf("twin: fit version %d, this build reads version %d", tw.Version, FitVersion)
+	}
+	if len(tw.Groups) == 0 {
+		return nil, fmt.Errorf("twin: fit has no model groups")
+	}
+	for _, g := range tw.Groups {
+		if g.Algo == "" || g.Family == "" {
+			return nil, fmt.Errorf("twin: fit group with empty algo/family")
+		}
+		for _, m := range []Model{g.Work, g.Messages, g.SolvedAt} {
+			if len(m.Coef) != nFeatures {
+				return nil, fmt.Errorf("twin: group %s/%s: %d coefficients, want %d",
+					g.Algo, g.Family, len(m.Coef), nFeatures)
+			}
+			if m.Band < 0 || m.N < 1 {
+				return nil, fmt.Errorf("twin: group %s/%s: degenerate model (band=%v n=%d)",
+					g.Algo, g.Family, m.Band, m.N)
+			}
+		}
+		e := g.Envelope
+		if e.MinP < 1 || e.MaxP < e.MinP || e.MinT < 1 || e.MaxT < e.MinT ||
+			e.MinD < 1 || e.MaxD < e.MinD || e.MinQ < 2 || e.MaxQ < e.MinQ {
+			return nil, fmt.Errorf("twin: group %s/%s: degenerate envelope %+v", g.Algo, g.Family, e)
+		}
+	}
+	return &tw, nil
+}
+
+// SamplesFromReport flattens a recorded sweep report into calibration
+// samples. Cells that predate the per-cell adversary column (an
+// adversary-axis-less sweep stamps only the report-level adversary)
+// inherit the report's first adversary expression; errored cells are
+// skipped — their measures are partial.
+func SamplesFromReport(rep scenario.SweepReport) []Sample {
+	reportFam := Family(firstExpr(rep.Adversary))
+	samples := make([]Sample, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			continue
+		}
+		fam := reportFam
+		if c.Adversary != "" {
+			fam = Family(c.Adversary)
+		}
+		samples = append(samples, Sample{
+			Algo:     c.Algo,
+			Family:   fam,
+			P:        c.P,
+			T:        c.T,
+			D:        c.D,
+			Q:        c.Q,
+			Work:     float64(c.Work),
+			Messages: float64(c.Messages),
+			SolvedAt: float64(c.SolvedAt),
+		})
+	}
+	return samples
+}
+
+// firstExpr splits a report-level adversary annotation ("fair" or the
+// joined axis form "fair;crashing;restarting") down to its first
+// expression.
+func firstExpr(adv string) string {
+	if i := strings.IndexByte(adv, ';'); i >= 0 {
+		return adv[:i]
+	}
+	return adv
+}

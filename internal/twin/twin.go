@@ -1,0 +1,437 @@
+// Package twin fits and serves the analytical twin: per (algorithm,
+// adversary-family) closed-form prediction models for the three model
+// measures — work, messages, solved-at — as functions of the cell shape
+// (p, t, d, q). The twin closes the paper's loop in the other direction:
+// the recorded BENCH grids prove the simulator tracks the paper's
+// delay-sensitive curves, so a model built *on those curves* can answer
+// "what does this algorithm cost at shape X?" in microseconds, no
+// simulation required.
+//
+// Model form. Each measure is fit by least squares in log space:
+//
+//	log(1+measure) ≈ Σ_k coef[k] · f_k(p,t,d,q)
+//
+// where the basis features f_k are the logarithms of the paper's own
+// bound shapes (LowerBound of Theorems 3.1/3.4, the DA(q) upper bound of
+// Theorem 5.5 with ε = EpsilonForQ(q), the PA upper bound of Theorems
+// 6.2/6.3) plus log p, log t, log(d+1) and a constant. Fitting on the
+// bound shapes means the regression learns constants and low-order
+// corrections, not the growth law — the theorems carry the asymptotics.
+// The log1p target keeps zero-valued measures (a communication-free
+// algorithm's messages) finite.
+//
+// Honesty machinery. Every model carries its calibration residuals
+// distilled into a confidence band (a log-space half-width covering every
+// calibration residual, floored at two residual standard deviations), an
+// R²/max-relative-error goodness-of-fit summary, and the group's
+// calibrated envelope — the axis-aligned box of (p,t,d,q) it was fit on.
+// Callers are expected to trust the twin only inside the envelope and
+// when the band is tight, and fall back to real simulation otherwise
+// (the coverage rule: trust the fit only where calibration data covers).
+package twin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"doall/internal/bounds"
+)
+
+// Sample is one calibration observation: a measured sweep cell reduced
+// to its shape coordinates and measure averages.
+type Sample struct {
+	Algo     string
+	Family   string // adversary family (root of the expression); "" = fair
+	P, T     int
+	D        int64
+	Q        int // progress-tree arity; < 2 means the default 2
+	Work     float64
+	Messages float64
+	SolvedAt float64
+}
+
+// Query asks the twin for a prediction at one shape.
+type Query struct {
+	Algo      string `json:"algo"`
+	Adversary string `json:"adversary,omitempty"` // expression or family; "" = fair
+	P         int    `json:"p"`
+	T         int    `json:"t"`
+	D         int64  `json:"d"`
+	Q         int    `json:"q,omitempty"`
+}
+
+// Prediction is the twin's answer: point estimates with confidence
+// bands for every measure, plus the coverage verdict the fallback rule
+// keys on.
+type Prediction struct {
+	Algo   string `json:"algo"`
+	Family string `json:"family"`
+	// Point estimates.
+	Work     float64 `json:"work"`
+	Messages float64 `json:"messages"`
+	SolvedAt float64 `json:"solved_at"`
+	// Confidence bands: [Lo, Hi] covers every calibration residual of the
+	// measure's model (and at least ±2 residual standard deviations).
+	WorkLo     float64 `json:"work_lo"`
+	WorkHi     float64 `json:"work_hi"`
+	MessagesLo float64 `json:"messages_lo"`
+	MessagesHi float64 `json:"messages_hi"`
+	SolvedAtLo float64 `json:"solved_at_lo"`
+	SolvedAtHi float64 `json:"solved_at_hi"`
+	// InEnvelope reports whether (p,t,d,q) lies inside the box the group
+	// was calibrated on. Outside it the estimates are extrapolations.
+	InEnvelope bool `json:"in_envelope"`
+	// BandRatio is the widest measure's Hi/Lo ratio in (1+measure) space,
+	// exp(2·band): 1 = perfect fit, large = the model admits it knows
+	// little. Serving layers fall back to simulation above a threshold.
+	BandRatio float64 `json:"band_ratio"`
+}
+
+// Model is one fitted measure of one (algorithm, family) group.
+type Model struct {
+	// Coef are the least-squares weights over the log-space basis
+	// features, in features() order.
+	Coef []float64 `json:"coef"`
+	// Sigma is the residual standard deviation in log space.
+	Sigma float64 `json:"sigma"`
+	// MaxAbsResid is the largest absolute calibration residual (log space).
+	MaxAbsResid float64 `json:"max_abs_resid"`
+	// Band is the confidence half-width (log space) used for Lo/Hi:
+	// max(2·Sigma, MaxAbsResid) plus a strict-covering epsilon.
+	Band float64 `json:"band"`
+	// R2 is the coefficient of determination in log space (1 = exact).
+	R2 float64 `json:"r2"`
+	// MaxRelErr is the largest relative error in linear space,
+	// |pred−actual| / max(actual, 1), over the calibration set.
+	MaxRelErr float64 `json:"max_rel_err"`
+	// N is the number of calibration samples.
+	N int `json:"n"`
+}
+
+// Envelope is the axis-aligned calibration box of one group.
+type Envelope struct {
+	MinP int   `json:"min_p"`
+	MaxP int   `json:"max_p"`
+	MinT int   `json:"min_t"`
+	MaxT int   `json:"max_t"`
+	MinD int64 `json:"min_d"`
+	MaxD int64 `json:"max_d"`
+	MinQ int   `json:"min_q"`
+	MaxQ int   `json:"max_q"`
+}
+
+// Contains reports whether the shape lies inside the calibration box.
+func (e Envelope) Contains(p, t int, d int64, q int) bool {
+	q = effectiveQ(q)
+	return p >= e.MinP && p <= e.MaxP &&
+		t >= e.MinT && t <= e.MaxT &&
+		d >= e.MinD && d <= e.MaxD &&
+		q >= e.MinQ && q <= e.MaxQ
+}
+
+// Group is the fitted model set of one (algorithm, adversary-family).
+type Group struct {
+	Algo     string   `json:"algo"`
+	Family   string   `json:"family"`
+	Envelope Envelope `json:"envelope"`
+	Work     Model    `json:"work"`
+	Messages Model    `json:"messages"`
+	SolvedAt Model    `json:"solved_at"`
+}
+
+// Twin is the calibrated model collection, the in-memory form of
+// TWIN_FIT.json.
+type Twin struct {
+	// Version guards the serialized schema.
+	Version int `json:"version"`
+	// Sources names the calibration inputs (e.g. the BENCH files).
+	Sources []string `json:"sources"`
+	// Groups is sorted by (algo, family) for deterministic serialization.
+	Groups []Group `json:"groups"`
+}
+
+// FitVersion is the current TWIN_FIT.json schema version.
+const FitVersion = 1
+
+// Family reduces an adversary expression to its family: the registry
+// name before the first parameter list, with "" meaning the default
+// fair adversary. "crashing(crash=3@7)" → "crashing".
+func Family(expr string) string {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return "fair"
+	}
+	if i := strings.IndexByte(expr, '('); i >= 0 {
+		expr = expr[:i]
+	}
+	return strings.TrimSpace(expr)
+}
+
+func effectiveQ(q int) int {
+	if q < 2 {
+		return 2
+	}
+	return q
+}
+
+// features evaluates the log-space basis at one shape. The first three
+// non-constant features are the paper's bound shapes, so the fit learns
+// constants against the theorems' growth laws.
+func features(p, t int, d int64, q int) []float64 {
+	lb := bounds.LowerBound(p, t, int(d))
+	da := bounds.DAUpperBound(p, t, int(d), bounds.EpsilonForQ(q))
+	pa := bounds.PAUpperBound(p, t, int(d))
+	return []float64{
+		1,
+		math.Log1p(lb),
+		math.Log1p(da),
+		math.Log1p(pa),
+		math.Log(float64(p)),
+		math.Log(float64(t)),
+		math.Log1p(float64(d)),
+	}
+}
+
+const nFeatures = 7
+
+// ridge is the Tikhonov weight added to the normal equations' diagonal:
+// large enough to keep tiny calibration sets (a family measured at two
+// shapes) solvable, small enough to leave well-determined fits
+// numerically unchanged.
+const ridge = 1e-6
+
+// bandEps strictly widens the band beyond the largest calibration
+// residual, so every calibration point is inside its own band by
+// construction rather than by floating-point luck.
+const bandEps = 1e-9
+
+// fitModel least-squares-fits one measure over the samples' feature rows.
+func fitModel(rows [][]float64, ys []float64) Model {
+	n := len(rows)
+	// Normal equations with ridge: (XᵀX + λI)·coef = Xᵀy.
+	var ata [nFeatures][nFeatures]float64
+	var atb [nFeatures]float64
+	for r, row := range rows {
+		for i := 0; i < nFeatures; i++ {
+			atb[i] += row[i] * ys[r]
+			for j := 0; j < nFeatures; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < nFeatures; i++ {
+		ata[i][i] += ridge
+	}
+	coef := solve(&ata, &atb)
+
+	// Residual statistics in log space.
+	var ssRes, ssTot, mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+	maxAbs, maxRel := 0.0, 0.0
+	for r, row := range rows {
+		pred := dot(coef, row)
+		resid := ys[r] - pred
+		ssRes += resid * resid
+		dTot := ys[r] - mean
+		ssTot += dTot * dTot
+		if a := math.Abs(resid); a > maxAbs {
+			maxAbs = a
+		}
+		// Linear-space relative error against the actual measure.
+		lin := math.Expm1(ys[r])
+		plin := math.Expm1(pred)
+		if rel := math.Abs(plin-lin) / math.Max(lin, 1); rel > maxRel {
+			maxRel = rel
+		}
+	}
+	sigma := math.Sqrt(ssRes / float64(n))
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	band := math.Max(2*sigma, maxAbs*(1+bandEps)) + bandEps
+	return Model{
+		Coef:        coef,
+		Sigma:       sigma,
+		MaxAbsResid: maxAbs,
+		Band:        band,
+		R2:          r2,
+		MaxRelErr:   maxRel,
+		N:           n,
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// (ridge-regularized, hence nonsingular) normal equations.
+func solve(a *[nFeatures][nFeatures]float64, b *[nFeatures]float64) []float64 {
+	for col := 0; col < nFeatures; col++ {
+		// Pivot on the largest magnitude in this column.
+		piv := col
+		for r := col + 1; r < nFeatures; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < nFeatures; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < nFeatures; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	coef := make([]float64, nFeatures)
+	for r := nFeatures - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < nFeatures; c++ {
+			s -= a[r][c] * coef[c]
+		}
+		coef[r] = s / a[r][r]
+	}
+	return coef
+}
+
+// Calibrate fits one Group per (algo, family) present in the samples and
+// returns the assembled Twin. Calibration is deterministic: identical
+// samples (in any order) produce a byte-identical serialized fit, which
+// is what lets CI re-derive TWIN_FIT.json from the checked-in BENCH
+// grids and diff it.
+func Calibrate(samples []Sample, sources []string) (*Twin, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("twin: no calibration samples")
+	}
+	type key struct{ algo, family string }
+	byGroup := map[key][]Sample{}
+	for _, s := range samples {
+		if s.P < 1 || s.T < 1 || s.D < 1 {
+			return nil, fmt.Errorf("twin: degenerate sample shape p=%d t=%d d=%d", s.P, s.T, s.D)
+		}
+		k := key{s.Algo, Family(s.Family)}
+		byGroup[k] = append(byGroup[k], s)
+	}
+	keys := make([]key, 0, len(byGroup))
+	for k := range byGroup {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].algo != keys[j].algo {
+			return keys[i].algo < keys[j].algo
+		}
+		return keys[i].family < keys[j].family
+	})
+	tw := &Twin{Version: FitVersion, Sources: append([]string(nil), sources...)}
+	for _, k := range keys {
+		ss := byGroup[k]
+		// Order-independence: sort the group's samples by shape so the
+		// accumulated normal equations see one canonical order.
+		sort.Slice(ss, func(i, j int) bool {
+			a, b := ss[i], ss[j]
+			if a.P != b.P {
+				return a.P < b.P
+			}
+			if a.T != b.T {
+				return a.T < b.T
+			}
+			if a.D != b.D {
+				return a.D < b.D
+			}
+			return effectiveQ(a.Q) < effectiveQ(b.Q)
+		})
+		rows := make([][]float64, len(ss))
+		work := make([]float64, len(ss))
+		msgs := make([]float64, len(ss))
+		solved := make([]float64, len(ss))
+		env := Envelope{
+			MinP: ss[0].P, MaxP: ss[0].P,
+			MinT: ss[0].T, MaxT: ss[0].T,
+			MinD: ss[0].D, MaxD: ss[0].D,
+			MinQ: effectiveQ(ss[0].Q), MaxQ: effectiveQ(ss[0].Q),
+		}
+		for i, s := range ss {
+			rows[i] = features(s.P, s.T, s.D, s.Q)
+			work[i] = math.Log1p(math.Max(0, s.Work))
+			msgs[i] = math.Log1p(math.Max(0, s.Messages))
+			solved[i] = math.Log1p(math.Max(0, s.SolvedAt))
+			env.MinP = min(env.MinP, s.P)
+			env.MaxP = max(env.MaxP, s.P)
+			env.MinT = min(env.MinT, s.T)
+			env.MaxT = max(env.MaxT, s.T)
+			env.MinD = min(env.MinD, s.D)
+			env.MaxD = max(env.MaxD, s.D)
+			env.MinQ = min(env.MinQ, effectiveQ(s.Q))
+			env.MaxQ = max(env.MaxQ, effectiveQ(s.Q))
+		}
+		tw.Groups = append(tw.Groups, Group{
+			Algo:     k.algo,
+			Family:   k.family,
+			Envelope: env,
+			Work:     fitModel(rows, work),
+			Messages: fitModel(rows, msgs),
+			SolvedAt: fitModel(rows, solved),
+		})
+	}
+	return tw, nil
+}
+
+// Group returns the fitted group for an (algorithm, adversary) pair, or
+// nil when the twin was not calibrated for it.
+func (tw *Twin) Group(algo, adversary string) *Group {
+	fam := Family(adversary)
+	for i := range tw.Groups {
+		if tw.Groups[i].Algo == algo && tw.Groups[i].Family == fam {
+			return &tw.Groups[i]
+		}
+	}
+	return nil
+}
+
+// Predict evaluates the twin at one shape. It errors only when the twin
+// has no model for the query's (algorithm, adversary-family); coverage
+// problems are reported in-band via InEnvelope and BandRatio, so the
+// serving layer owns the fallback decision.
+func (tw *Twin) Predict(q Query) (Prediction, error) {
+	if q.P < 1 || q.T < 1 || q.D < 1 {
+		return Prediction{}, fmt.Errorf("twin: degenerate query shape p=%d t=%d d=%d", q.P, q.T, q.D)
+	}
+	g := tw.Group(q.Algo, q.Adversary)
+	if g == nil {
+		return Prediction{}, fmt.Errorf("twin: no model for algorithm %q under adversary family %q", q.Algo, Family(q.Adversary))
+	}
+	row := features(q.P, q.T, q.D, q.Q)
+	pred := Prediction{
+		Algo:       g.Algo,
+		Family:     g.Family,
+		InEnvelope: g.Envelope.Contains(q.P, q.T, q.D, q.Q),
+	}
+	eval := func(m Model, val, lo, hi *float64) {
+		y := dot(m.Coef, row)
+		*val = math.Max(0, math.Expm1(y))
+		*lo = math.Max(0, math.Expm1(y-m.Band))
+		*hi = math.Max(0, math.Expm1(y+m.Band))
+		if ratio := math.Exp(2 * m.Band); ratio > pred.BandRatio {
+			pred.BandRatio = ratio
+		}
+	}
+	eval(g.Work, &pred.Work, &pred.WorkLo, &pred.WorkHi)
+	eval(g.Messages, &pred.Messages, &pred.MessagesLo, &pred.MessagesHi)
+	eval(g.SolvedAt, &pred.SolvedAt, &pred.SolvedAtLo, &pred.SolvedAtHi)
+	return pred, nil
+}

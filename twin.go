@@ -1,0 +1,51 @@
+package doall
+
+import (
+	"doall/internal/service"
+	"doall/internal/twin"
+)
+
+// The analytical twin: per (algorithm, adversary-family) log-space
+// least-squares models over the paper's own bound shapes, calibrated
+// from recorded benchmark grids, that predict work, messages, and
+// solved-at for a cell shape in microseconds. Each model carries its
+// calibrated envelope (the (p,t,d,q) box it was fit on) and a
+// residual-derived confidence band; the daemon serves in-envelope
+// queries analytically at POST /v1/predict and falls back to one real
+// bounded simulation outside the twin's evidence.
+type (
+	// Twin is a calibrated model collection (the TWIN_FIT.json form).
+	Twin = twin.Twin
+	// TwinQuery asks for a prediction at one (algo, adversary, p, t, d, q).
+	TwinQuery = twin.Query
+	// TwinPrediction is the answer: estimates, bands, coverage verdict.
+	TwinPrediction = twin.Prediction
+	// TwinSample is one calibration observation.
+	TwinSample = twin.Sample
+	// TwinPredictResult is the daemon's predict response: prediction plus
+	// the mode that produced it ("twin" or "fallback").
+	TwinPredictResult = service.PredictResult
+)
+
+// CalibrateTwin fits a twin from calibration samples; sources names the
+// inputs (recorded in the fit for provenance). Deterministic: identical
+// samples yield a byte-identical encoded fit.
+func CalibrateTwin(samples []TwinSample, sources []string) (*Twin, error) {
+	return twin.Calibrate(samples, sources)
+}
+
+// LoadTwin parses and validates a serialized fit (TWIN_FIT.json).
+func LoadTwin(data []byte) (*Twin, error) { return twin.Load(data) }
+
+// EncodeTwin serializes a fit as deterministic indented JSON.
+func EncodeTwin(tw *Twin) ([]byte, error) { return tw.Encode() }
+
+// TwinSamplesFromReport flattens a recorded sweep report into
+// calibration samples (errored cells skipped).
+func TwinSamplesFromReport(rep SweepReport) []TwinSample {
+	return twin.SamplesFromReport(rep)
+}
+
+// TwinFamily reduces an adversary expression to its family name:
+// "crashing(crash=3@7)" → "crashing", "" → "fair".
+func TwinFamily(expr string) string { return twin.Family(expr) }
